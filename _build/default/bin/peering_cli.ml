@@ -1,0 +1,240 @@
+(* The `peering` command-line tool: poke at the testbed from a shell.
+
+     dune exec bin/peering_cli.exe -- <command> [options]
+
+   Commands:
+     world      generate a synthetic Internet and print its shape
+     amsix      build the AMS-IX fabric and print the membership census
+     table1     print the paper's testbed-capability matrix
+     demo       run a one-shot announce/withdraw experiment
+     emulate    emulate a Topology Zoo backbone and converge it
+     config     parse a Quagga-style configuration file and report *)
+
+open Cmdliner
+open Peering_net
+module Gen = Peering_topo.Gen
+module As_graph = Peering_topo.As_graph
+module Customer_cone = Peering_topo.Customer_cone
+module Topology_zoo = Peering_topo.Topology_zoo
+module Fabric = Peering_ixp.Fabric
+module Amsix = Peering_ixp.Amsix
+module Peering_policy = Peering_ixp.Peering_policy
+module Rng = Peering_sim.Rng
+module Engine = Peering_sim.Engine
+module Mininext = Peering_emu.Mininext
+module Forwarder = Peering_dataplane.Forwarder
+open Peering_core
+
+let seed_arg =
+  let doc = "Deterministic seed for world generation." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let scale_arg =
+  let doc = "World scale: 'small' (~3.4K ASes) or 'paper' (~46K ASes)." in
+  Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let params_of ~seed ~scale =
+  match scale with
+  | "paper" -> { Gen.paper_scale_params with Gen.seed }
+  | "small" -> { Gen.default_params with Gen.seed }
+  | s -> invalid_arg (Printf.sprintf "unknown scale %S (small|paper)" s)
+
+(* ------------------------------------------------------------------ *)
+
+let world_cmd =
+  let run seed scale =
+    let w = Gen.generate (params_of ~seed ~scale) in
+    let g = w.Gen.graph in
+    Printf.printf "ASes:       %d\n" (As_graph.n_ases g);
+    Printf.printf "  tier-1:   %d\n" (List.length w.Gen.tier1);
+    Printf.printf "  large:    %d\n" (List.length w.Gen.large_transit);
+    Printf.printf "  small:    %d\n" (List.length w.Gen.small_transit);
+    Printf.printf "  stubs:    %d\n" (List.length w.Gen.stubs);
+    Printf.printf "  content:  %d\n" (List.length w.Gen.content);
+    Printf.printf "edges:      %d\n" (As_graph.n_edges g);
+    Printf.printf "prefixes:   %d\n" (As_graph.n_prefixes g);
+    Printf.printf "top-10 by customer cone:\n";
+    List.iteri
+      (fun i (asn, size) ->
+        if i < 10 then
+          let n = As_graph.node_exn g asn in
+          Printf.printf "  %2d. %-10s %-14s cone=%d\n" (i + 1)
+            (Asn.to_string asn)
+            (As_graph.kind_to_string n.As_graph.kind)
+            size)
+      (Customer_cone.rank_all g)
+  in
+  Cmd.v (Cmd.info "world" ~doc:"Generate a synthetic Internet and describe it")
+    Term.(const run $ seed_arg $ scale_arg)
+
+let amsix_cmd =
+  let run seed scale =
+    let w = Gen.generate (params_of ~seed ~scale) in
+    let fabric = Amsix.build ~rng:(Rng.create seed) w in
+    Printf.printf "AMS-IX: %d members, %d on route servers\n"
+      (Fabric.n_members fabric)
+      (List.length (Fabric.route_server_users fabric));
+    List.iter
+      (fun (policy, n) ->
+        Printf.printf "  %-14s %d\n" (Peering_policy.to_string policy) n)
+      (Fabric.policy_census fabric);
+    let countries = Amsix.member_countries fabric w in
+    Printf.printf "member countries: %d\n" (Country.Set.cardinal countries)
+  in
+  Cmd.v (Cmd.info "amsix" ~doc:"Build the calibrated AMS-IX fabric")
+    Term.(const run $ seed_arg $ scale_arg)
+
+let table1_cmd =
+  let run () =
+    print_string (Capability.render ());
+    Printf.printf "\nPEERING meets all goals: %b\n" (Capability.peering_meets_all ())
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print the testbed capability matrix (Table 1)")
+    Term.(const run $ const ())
+
+let demo_cmd =
+  let run seed =
+    let params = { Testbed.default_params with Testbed.seed } in
+    let t = Testbed.build ~params () in
+    let e =
+      match
+        Testbed.new_experiment t ~id:"cli-demo" ~owner:"cli"
+          ~description:"command line demonstration announcement" ()
+      with
+      | Ok e -> e
+      | Error m -> failwith m
+    in
+    let client = Client.create ~id:"cli" ~experiment:e () in
+    Testbed.connect_client t client
+      ~sites:(List.map Testbed.site_name (Testbed.sites t));
+    let p = List.hd e.Experiment.prefixes in
+    ignore (Client.announce client p);
+    Printf.printf "announced %s from %d sites: reachable from %d ASes\n"
+      (Prefix.to_string p)
+      (List.length (Testbed.sites t))
+      (Testbed.reach_count t p);
+    Client.withdraw client p;
+    Printf.printf "withdrawn: %d ASes\n" (Testbed.reach_count t p)
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"One-shot announce/withdraw round trip")
+    Term.(const run $ seed_arg)
+
+let emulate_cmd =
+  let topo_arg =
+    let doc = "Backbone to emulate: 'he' (Hurricane Electric) or 'abilene'." in
+    Arg.(value & opt string "he" & info [ "topology" ] ~docv:"NAME" ~doc)
+  in
+  let run topo =
+    let zoo =
+      match topo with
+      | "he" -> Topology_zoo.hurricane_electric
+      | "abilene" -> Topology_zoo.abilene
+      | s -> invalid_arg (Printf.sprintf "unknown topology %S" s)
+    in
+    let engine = Engine.create () in
+    let fwd = Forwarder.create engine in
+    let emu = Mininext.of_topology engine fwd ~asn:(Asn.of_int 6939) zoo in
+    Printf.printf "emulating %s (%d PoPs, %d links)\n" zoo.Topology_zoo.name
+      (Topology_zoo.n_pops zoo) (Topology_zoo.n_links zoo);
+    Mininext.start emu;
+    Engine.run ~until:120.0 engine;
+    List.iteri
+      (fun i pop ->
+        Mininext.originate_at emu (Mininext.pop_name pop)
+          (Prefix.make (Ipv4.of_octets 184 164 (224 + (i mod 32)) 0) 24))
+      (Mininext.pops emu);
+    Engine.run_for engine 120.0;
+    List.iter
+      (fun pop ->
+        Printf.printf "  %-14s %3d routes\n" (Mininext.pop_name pop)
+          (Mininext.routes_at emu (Mininext.pop_name pop)))
+      (Mininext.pops emu);
+    Printf.printf "modelled memory: %.2f GB\n"
+      (float_of_int (Mininext.container_model_bytes emu) /. 1073741824.0)
+  in
+  Cmd.v (Cmd.info "emulate" ~doc:"Emulate a Topology Zoo backbone")
+    Term.(const run $ topo_arg)
+
+let config_cmd =
+  let file_arg =
+    let doc = "Quagga-style configuration file to parse." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    match Peering_router.Config.parse text with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+    | Ok c ->
+      (match Peering_router.Config.bgp c with
+      | Some bgp ->
+        Printf.printf "router bgp %s: %d networks, %d neighbors\n"
+          (Asn.to_string bgp.Peering_router.Config.asn)
+          (List.length bgp.Peering_router.Config.networks)
+          (List.length bgp.Peering_router.Config.neighbors)
+      | None -> print_endline "no router bgp block");
+      List.iter
+        (fun name ->
+          match Peering_router.Config.compile_route_map c name with
+          | Ok _ -> Printf.printf "route-map %s: compiles\n" name
+          | Error e -> Printf.printf "route-map %s: ERROR %s\n" name e)
+        (Peering_router.Config.route_map_names c)
+  in
+  Cmd.v (Cmd.info "config" ~doc:"Parse and check a router configuration")
+    Term.(const run $ file_arg)
+
+let portal_cmd =
+  let run seed =
+    let params = { Testbed.default_params with Testbed.seed } in
+    let t = Testbed.build ~params () in
+    let portal = Portal.create t in
+    (match
+       Portal.register portal ~username:"demo" ~email:"demo@example.edu"
+         ~affiliation:"Example University"
+     with
+    | Ok () -> print_endline "account demo: approved"
+    | Error e -> Printf.printf "account demo: %s\n" e);
+    (match
+       Portal.submit portal ~username:"demo" ~id:"cli-portal"
+         ~description:
+           "demonstration proposal exercising the provisioning pipeline"
+         ()
+     with
+    | Ok () -> ()
+    | Error e -> failwith e);
+    List.iter
+      (fun (id, outcome) ->
+        match outcome with
+        | Ok _ -> Printf.printf "proposal %s: approved by the board\n" id
+        | Error e -> Printf.printf "proposal %s: %s\n" id e)
+      (Portal.run_board portal);
+    match Portal.provision portal ~experiment_id:"cli-portal" with
+    | Ok kit ->
+      Printf.printf "\n--- generated client configuration ---\n%s"
+        kit.Portal.client_config;
+      Printf.printf "--- tunnel endpoints ---\n";
+      List.iter
+        (fun (site, addr) ->
+          Printf.printf "  %-14s %s\n" site (Ipv4.to_string addr))
+        kit.Portal.tunnel_endpoints
+    | Error e -> Printf.printf "provisioning failed: %s\n" e
+  in
+  Cmd.v
+    (Cmd.info "portal"
+       ~doc:"Walk the account/vetting/provisioning pipeline end to end")
+    Term.(const run $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "peering" ~version:"1.0.0"
+      ~doc:"PEERING testbed reproduction toolkit"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
+            config_cmd; portal_cmd ]))

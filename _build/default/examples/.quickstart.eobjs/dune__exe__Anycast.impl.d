@@ -1,0 +1,1 @@
+examples/anycast.ml: Client Experiment Hashtbl List Option Peering_core Peering_topo Printf String Testbed

@@ -1,0 +1,1 @@
+examples/arrow.ml: Format Ipv4 List Peering_dataplane Peering_net Peering_sim Prefix Printf

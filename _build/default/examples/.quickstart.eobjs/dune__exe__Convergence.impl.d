@@ -1,0 +1,1 @@
+examples/convergence.ml: Float List Peering_net Peering_sim Peering_topo Prefix Printf

@@ -1,0 +1,1 @@
+examples/decoy_routing.ml: Ipv4 List Peering_dataplane Peering_net Peering_sim Prefix Printf

@@ -1,0 +1,1 @@
+examples/decoy_routing.mli:

@@ -1,0 +1,1 @@
+examples/he_backbone.ml: Asn Format Ipv4 List Peering_bgp Peering_dataplane Peering_emu Peering_net Peering_router Peering_sim Peering_topo Prefix Printf

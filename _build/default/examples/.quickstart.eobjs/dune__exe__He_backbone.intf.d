@@ -1,0 +1,1 @@
+examples/he_backbone.mli:

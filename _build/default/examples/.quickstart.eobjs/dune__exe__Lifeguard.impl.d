@@ -1,0 +1,1 @@
+examples/lifeguard.ml: Asn Client Experiment Hashtbl List Option Peering_core Peering_net Peering_topo Prefix Printf Safety Testbed

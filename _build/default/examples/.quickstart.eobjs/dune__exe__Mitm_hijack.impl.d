@@ -1,0 +1,1 @@
+examples/mitm_hijack.ml: Asn Client Experiment List Peering_core Peering_measure Peering_net Peering_topo Prefix Printf String Testbed

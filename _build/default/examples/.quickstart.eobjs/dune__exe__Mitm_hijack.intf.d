@@ -1,0 +1,1 @@
+examples/mitm_hijack.mli:

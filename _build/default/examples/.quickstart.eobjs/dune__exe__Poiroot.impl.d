@@ -1,0 +1,1 @@
+examples/poiroot.ml: Asn Client Experiment Hashtbl List Option Peering_core Peering_net Peering_topo Printf String Testbed

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asn Client Experiment Format List Peering_core Peering_net Peering_topo Prefix Printf Safety String Testbed

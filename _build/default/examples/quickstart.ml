@@ -1,0 +1,80 @@
+(* Quickstart: bring up the testbed, run an experiment, announce a
+   prefix to the world, and look at what happened.
+
+     dune exec examples/quickstart.exe *)
+
+open Peering_net
+open Peering_core
+module Gen = Peering_topo.Gen
+
+let () =
+  (* 1. Build the whole testbed: a synthetic Internet, the PEERING AS
+     deployed at AMS-IX, Phoenix-IX and three university sites. The
+     default world is laptop-sized (~3,400 ASes). *)
+  print_endline "building testbed (synthetic Internet + PEERING sites)...";
+  let t = Testbed.build () in
+  List.iter
+    (fun site ->
+      Printf.printf "  site %-12s %4d peers\n" (Testbed.site_name site)
+        (List.length (Peering_core.Server.peer_asns (Testbed.site_server site))))
+    (Testbed.sites t);
+
+  (* 2. Propose an experiment. The controller vets it, allocates a /24
+     out of PEERING's 184.164.224.0/19 and a private ASN. *)
+  let experiment =
+    match
+      Testbed.new_experiment t ~id:"quickstart" ~owner:"you"
+        ~description:"first contact with the PEERING testbed API" ()
+    with
+    | Ok e -> e
+    | Error msg -> failwith msg
+  in
+  Format.printf "%a@." Experiment.pp experiment;
+
+  (* 3. Connect a client to two sites. The client is your AS's border
+     router: it sees every peer's routes and controls announcements. *)
+  let client = Client.create ~id:"quickstart-client" ~experiment () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01"; "gatech01" ];
+
+  (* 4. Announce our prefix everywhere and see how far it got. *)
+  let prefix = List.hd experiment.Experiment.prefixes in
+  let results = Client.announce client prefix in
+  List.iter
+    (fun (site, r) ->
+      Printf.printf "  announce via %-12s %s\n" site
+        (match r with
+        | Ok () -> "accepted"
+        | Error reason -> "rejected: " ^ Safety.reason_to_string reason))
+    results;
+  let total = Peering_topo.As_graph.n_ases (Testbed.graph t) in
+  Printf.printf "prefix %s is now reachable from %d of %d ASes\n"
+    (Prefix.to_string prefix)
+    (Testbed.reach_count t prefix)
+    total;
+
+  (* 5. Ask how a random far-away stub reaches us. *)
+  let w = Testbed.world t in
+  let stub = List.nth w.Gen.stubs 100 in
+  (match Testbed.path_from t stub prefix with
+  | Some path ->
+    Printf.printf "AS path from %s: %s\n"
+      (Asn.to_string stub)
+      (String.concat " " (List.map Asn.to_string path))
+  | None -> print_endline "stub has no route (unexpected)");
+  (match Testbed.ingress_site t ~from_asn:stub prefix with
+  | Some site -> Printf.printf "its traffic enters PEERING at %s\n" site
+  | None -> ());
+
+  (* 6. Withdraw and confirm the Internet forgot us. *)
+  Client.withdraw client prefix;
+  Printf.printf "after withdraw: reachable from %d ASes\n"
+    (Testbed.reach_count t prefix);
+
+  (* 7. The safety layer at work: announcing someone else's prefix is
+     refused before it can touch the control plane. *)
+  let foreign = Prefix.of_string_exn "8.8.8.0/24" in
+  (match Client.announce client foreign with
+  | (_, Error reason) :: _ ->
+    Printf.printf "hijack attempt: %s\n" (Safety.reason_to_string reason)
+  | _ -> print_endline "hijack was not blocked?!");
+  print_endline "done."

@@ -1,0 +1,1 @@
+lib/bgp/attrs.ml: As_path Asn Bool Community Format Int Ipv4 List Option Peering_net String

@@ -1,0 +1,1 @@
+lib/bgp/capability.ml: Format List

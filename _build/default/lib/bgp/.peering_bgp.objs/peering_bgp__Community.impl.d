@@ -1,0 +1,1 @@
+lib/bgp/community.ml: Asn Format Int List Peering_net Printf String

@@ -1,0 +1,1 @@
+lib/bgp/dampening.ml: Float Hashtbl Peering_net Prefix

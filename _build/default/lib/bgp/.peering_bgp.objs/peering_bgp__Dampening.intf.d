@@ -1,0 +1,1 @@
+lib/bgp/dampening.mli: Peering_net Prefix

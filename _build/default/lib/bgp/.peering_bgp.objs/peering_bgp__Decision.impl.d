@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Asn Attrs Bool Format Int Ipv4 List Option Peering_net Route

@@ -1,0 +1,1 @@
+lib/bgp/fsm.ml: Asn Capability Ipv4 Message Peering_net Peering_sim Printf Wire

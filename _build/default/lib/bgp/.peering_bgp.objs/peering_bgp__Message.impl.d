@@ -1,0 +1,1 @@
+lib/bgp/message.ml: Asn Attrs Capability Format Ipv4 Peering_net Prefix

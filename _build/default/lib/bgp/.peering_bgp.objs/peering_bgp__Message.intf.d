@@ -1,0 +1,1 @@
+lib/bgp/message.mli: Asn Attrs Capability Format Ipv4 Peering_net Prefix

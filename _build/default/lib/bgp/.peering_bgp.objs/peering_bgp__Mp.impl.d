@@ -1,0 +1,1 @@
+lib/bgp/mp.ml: Attrs Buffer Bytes Char Int64 Ipv4 Ipv6 List Message Option Peering_net Prefix6 Wire

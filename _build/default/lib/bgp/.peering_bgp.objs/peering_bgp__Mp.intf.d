@@ -1,0 +1,1 @@
+lib/bgp/mp.mli: Attrs Ipv6 Peering_net Prefix6 Wire

@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: As_path Asn Attrs Community Int Ipv4 List Peering_net Prefix Route

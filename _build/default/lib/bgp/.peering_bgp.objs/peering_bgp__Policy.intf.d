@@ -1,0 +1,1 @@
+lib/bgp/policy.mli: Asn Community Ipv4 Peering_net Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Decision List Map Option Peering_net Prefix Prefix_trie Route String

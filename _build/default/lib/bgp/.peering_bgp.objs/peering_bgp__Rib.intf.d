@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Ipv4 Peering_net Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/route.ml: As_path Asn Attrs Bool Format Int Ipv4 Peering_net Prefix

@@ -1,0 +1,1 @@
+lib/bgp/route.mli: Asn Attrs Format Ipv4 Peering_net Prefix

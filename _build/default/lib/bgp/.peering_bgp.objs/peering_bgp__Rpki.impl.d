@@ -1,0 +1,1 @@
+lib/bgp/rpki.ml: Asn List Option Peering_net Prefix Prefix_trie Route

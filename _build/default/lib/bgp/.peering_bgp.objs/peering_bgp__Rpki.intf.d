@@ -1,0 +1,1 @@
+lib/bgp/rpki.mli: Asn Peering_net Prefix Route

@@ -1,0 +1,1 @@
+lib/bgp/session.ml: Bytes Fsm Ipv4 Message Option Peering_net Peering_sim Wire

@@ -1,0 +1,1 @@
+lib/bgp/session.mli: Fsm Ipv4 Message Peering_net Peering_sim Wire

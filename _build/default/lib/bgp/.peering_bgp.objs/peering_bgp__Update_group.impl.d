@@ -1,0 +1,1 @@
+lib/bgp/update_group.ml: Attrs Bytes List Message Peering_net Prefix Wire

@@ -1,0 +1,1 @@
+lib/bgp/update_group.mli: Attrs Message Peering_net Prefix Wire

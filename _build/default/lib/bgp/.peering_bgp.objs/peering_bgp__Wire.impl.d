@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: As_path Asn Attrs Buffer Bytes Capability Char Community Ipv4 List Message Option Peering_net Prefix Printf

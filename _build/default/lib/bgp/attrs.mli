@@ -1,0 +1,48 @@
+(** BGP path attributes carried with a route. *)
+
+open Peering_net
+
+type origin = IGP | EGP | INCOMPLETE
+
+val origin_rank : origin -> int
+(** Decision-process rank: IGP (0) < EGP (1) < INCOMPLETE (2), lower
+    preferred. *)
+
+val origin_to_string : origin -> string
+
+type t = {
+  origin : origin;
+  as_path : As_path.t;
+  next_hop : Ipv4.t;
+  med : int option;
+  local_pref : int option;
+  atomic_aggregate : bool;
+  aggregator : (Asn.t * Ipv4.t) option;
+  communities : Community.t list;  (** kept sorted, duplicate-free *)
+}
+
+val make :
+  ?origin:origin ->
+  ?as_path:As_path.t ->
+  ?med:int ->
+  ?local_pref:int ->
+  ?atomic_aggregate:bool ->
+  ?aggregator:Asn.t * Ipv4.t ->
+  ?communities:Community.t list ->
+  next_hop:Ipv4.t ->
+  unit ->
+  t
+(** Defaults: origin [IGP], empty path, no MED/local-pref, no
+    communities. *)
+
+val with_communities : Community.t list -> t -> t
+val add_community : Community.t -> t -> t
+val has_community : Community.t -> t -> bool
+val prepend_asn : Asn.t -> t -> t
+val with_next_hop : Ipv4.t -> t -> t
+val with_local_pref : int option -> t -> t
+val with_med : int option -> t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

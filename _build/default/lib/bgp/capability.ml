@@ -1,0 +1,46 @@
+type add_path_mode = Receive | Send | Send_receive
+
+type t =
+  | Four_octet_asn of int
+  | Add_path of add_path_mode
+  | Route_refresh
+  | Graceful_restart of int
+
+let code = function
+  | Route_refresh -> 2
+  | Graceful_restart _ -> 64
+  | Four_octet_asn _ -> 65
+  | Add_path _ -> 69
+
+let can_send = function Send | Send_receive -> true | Receive -> false
+let can_receive = function Receive | Send_receive -> true | Send -> false
+
+let add_path_mode caps =
+  List.find_map (function Add_path m -> Some m | _ -> None) caps
+
+let negotiated_add_path local remote =
+  match (add_path_mode local, add_path_mode remote) with
+  | Some l, Some r ->
+    (can_send l && can_receive r) || (can_send r && can_receive l)
+  | _ -> false
+
+let negotiated_four_octet local remote =
+  let has = List.exists (function Four_octet_asn _ -> true | _ -> false) in
+  has local && has remote
+
+let equal a b =
+  match (a, b) with
+  | Four_octet_asn x, Four_octet_asn y -> x = y
+  | Add_path x, Add_path y -> x = y
+  | Route_refresh, Route_refresh -> true
+  | Graceful_restart x, Graceful_restart y -> x = y
+  | (Four_octet_asn _ | Add_path _ | Route_refresh | Graceful_restart _), _ ->
+    false
+
+let pp ppf = function
+  | Four_octet_asn a -> Format.fprintf ppf "4-octet-asn(%d)" a
+  | Add_path Receive -> Format.fprintf ppf "add-path(rx)"
+  | Add_path Send -> Format.fprintf ppf "add-path(tx)"
+  | Add_path Send_receive -> Format.fprintf ppf "add-path(rx/tx)"
+  | Route_refresh -> Format.fprintf ppf "route-refresh"
+  | Graceful_restart t -> Format.fprintf ppf "graceful-restart(%ds)" t

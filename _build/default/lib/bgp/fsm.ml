@@ -1,0 +1,220 @@
+open Peering_net
+module Engine = Peering_sim.Engine
+
+type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+let state_to_string = function
+  | Idle -> "Idle"
+  | Connect -> "Connect"
+  | Active -> "Active"
+  | Open_sent -> "OpenSent"
+  | Open_confirm -> "OpenConfirm"
+  | Established -> "Established"
+
+type config = {
+  local_asn : Asn.t;
+  router_id : Ipv4.t;
+  hold_time : int;
+  connect_retry : float;
+  capabilities : Capability.t list;
+  passive : bool;
+}
+
+let default_config ~local_asn ~router_id =
+  { local_asn;
+    router_id;
+    hold_time = 90;
+    connect_retry = 5.0;
+    capabilities = [ Capability.Four_octet_asn (Asn.to_int local_asn) ];
+    passive = false
+  }
+
+type callbacks = {
+  send : Message.t -> unit;
+  on_established : Wire.session_opts -> unit;
+  on_update : Message.update -> unit;
+  on_close : string -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  cb : callbacks;
+  mutable state : state;
+  mutable peer_open : Message.open_msg option;
+  mutable negotiated : Wire.session_opts option;
+  mutable hold_deadline : float;
+  mutable hold_interval : float;  (** negotiated hold time; 0 = disabled *)
+  mutable timer_generation : int;  (** invalidates stale timer events *)
+  mutable established_count : int;
+}
+
+let create engine config cb =
+  { engine;
+    config;
+    cb;
+    state = Idle;
+    peer_open = None;
+    negotiated = None;
+    hold_deadline = infinity;
+    hold_interval = 0.0;
+    timer_generation = 0;
+    established_count = 0
+  }
+
+let state t = t.state
+let negotiated t = t.negotiated
+let peer_open t = t.peer_open
+let established_count t = t.established_count
+
+let my_open t =
+  Message.Open
+    { version = 4;
+      asn = t.config.local_asn;
+      hold_time = t.config.hold_time;
+      router_id = t.config.router_id;
+      capabilities = t.config.capabilities
+    }
+
+let bump_timers t = t.timer_generation <- t.timer_generation + 1
+
+let close t reason =
+  if t.state <> Idle then begin
+    bump_timers t;
+    t.state <- Idle;
+    t.peer_open <- None;
+    t.negotiated <- None;
+    t.cb.on_close reason
+  end
+
+let rec keepalive_tick t generation () =
+  if generation = t.timer_generation && t.state = Established then begin
+    t.cb.send Message.Keepalive;
+    if t.hold_interval > 0.0 then
+      Engine.schedule t.engine ~delay:(t.hold_interval /. 3.0)
+        (keepalive_tick t generation)
+  end
+
+let rec hold_check t generation () =
+  if generation = t.timer_generation && t.state = Established then
+    if Engine.now t.engine >= t.hold_deadline then begin
+      t.cb.send
+        (Message.Notification
+           { code = Message.Error.hold_timer_expired;
+             subcode = 0;
+             reason = "hold timer expired"
+           });
+      close t "hold timer expired"
+    end
+    else
+      Engine.schedule_at t.engine ~time:t.hold_deadline (hold_check t generation)
+
+let enter_established t =
+  let peer =
+    match t.peer_open with
+    | Some o -> o
+    | None -> assert false
+  in
+  let opts =
+    { Wire.four_octet_asn =
+        Capability.negotiated_four_octet t.config.capabilities
+          peer.capabilities;
+      add_path =
+        Capability.negotiated_add_path t.config.capabilities peer.capabilities
+    }
+  in
+  t.negotiated <- Some opts;
+  t.state <- Established;
+  t.established_count <- t.established_count + 1;
+  t.hold_interval <- float_of_int (min t.config.hold_time peer.hold_time);
+  bump_timers t;
+  let generation = t.timer_generation in
+  if t.hold_interval > 0.0 then begin
+    t.hold_deadline <- Engine.now t.engine +. t.hold_interval;
+    Engine.schedule t.engine ~delay:(t.hold_interval /. 3.0)
+      (keepalive_tick t generation);
+    Engine.schedule_at t.engine ~time:t.hold_deadline (hold_check t generation)
+  end;
+  t.cb.on_established opts
+
+let touch_hold t =
+  if t.hold_interval > 0.0 then
+    t.hold_deadline <- Engine.now t.engine +. t.hold_interval
+
+let start t =
+  match t.state with
+  | Idle ->
+    if t.config.passive then t.state <- Active
+    else begin
+      t.state <- Open_sent;
+      t.cb.send (my_open t)
+    end
+  | Connect | Active | Open_sent | Open_confirm | Established -> ()
+
+let stop t ~reason =
+  if t.state = Established || t.state = Open_confirm || t.state = Open_sent
+  then
+    t.cb.send
+      (Message.Notification
+         { code = Message.Error.cease; subcode = 0; reason });
+  close t reason
+
+let fsm_error t got =
+  t.cb.send
+    (Message.Notification
+       { code = Message.Error.fsm;
+         subcode = 0;
+         reason = Printf.sprintf "unexpected %s in %s" got
+             (state_to_string t.state)
+       });
+  close t "FSM error"
+
+let validate_open t (o : Message.open_msg) =
+  if o.version <> 4 then Error "bad version"
+  else if o.hold_time = 1 || o.hold_time = 2 then Error "unacceptable hold time"
+  else if Asn.equal o.asn t.config.local_asn && not (Ipv4.equal o.router_id t.config.router_id)
+  then Ok `Ibgp
+  else if Asn.equal o.asn t.config.local_asn then Error "router-id collision"
+  else Ok `Ebgp
+
+let handle t msg =
+  match (t.state, msg) with
+  | Idle, _ -> () (* discard; transport should be down *)
+  | (Connect | Active), Message.Open o -> (
+    (* Passive side: respond with our OPEN then confirm. *)
+    match validate_open t o with
+    | Error e ->
+      t.cb.send
+        (Message.Notification
+           { code = Message.Error.open_message; subcode = 0; reason = e });
+      close t e
+    | Ok _ ->
+      t.peer_open <- Some o;
+      t.cb.send (my_open t);
+      t.cb.send Message.Keepalive;
+      t.state <- Open_confirm)
+  | (Connect | Active), _ -> fsm_error t "message before OPEN"
+  | Open_sent, Message.Open o -> (
+    match validate_open t o with
+    | Error e ->
+      t.cb.send
+        (Message.Notification
+           { code = Message.Error.open_message; subcode = 0; reason = e });
+      close t e
+    | Ok _ ->
+      t.peer_open <- Some o;
+      t.cb.send Message.Keepalive;
+      t.state <- Open_confirm)
+  | Open_sent, Message.Notification n -> close t n.reason
+  | Open_sent, (Message.Update _ | Message.Keepalive) ->
+    fsm_error t "update/keepalive"
+  | Open_confirm, Message.Keepalive -> enter_established t
+  | Open_confirm, Message.Notification n -> close t n.reason
+  | Open_confirm, Message.Open _ -> fsm_error t "second OPEN"
+  | Open_confirm, Message.Update _ -> fsm_error t "early UPDATE"
+  | Established, Message.Update u ->
+    touch_hold t;
+    t.cb.on_update u
+  | Established, Message.Keepalive -> touch_hold t
+  | Established, Message.Notification n -> close t n.reason
+  | Established, Message.Open _ -> fsm_error t "OPEN while established"

@@ -1,0 +1,55 @@
+(** BGP session finite-state machine (RFC 4271 §8, condensed).
+
+    One [Fsm.t] is one side of a session. It is transport-agnostic: the
+    owner supplies [send] (we call it with messages to emit) and feeds
+    received messages to {!handle}. Timers (hold, keepalive,
+    connect-retry) run on the shared simulation {!Peering_sim.Engine}. *)
+
+open Peering_net
+
+type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+val state_to_string : state -> string
+
+type config = {
+  local_asn : Asn.t;
+  router_id : Ipv4.t;
+  hold_time : int;  (** proposed hold time, seconds *)
+  connect_retry : float;  (** seconds between connection attempts *)
+  capabilities : Capability.t list;
+  passive : bool;  (** if true, wait for the peer's OPEN before sending ours *)
+}
+
+val default_config : local_asn:Asn.t -> router_id:Ipv4.t -> config
+(** hold 90 s, retry 5 s, 4-octet-ASN capability, active mode. *)
+
+type callbacks = {
+  send : Message.t -> unit;
+  on_established : Wire.session_opts -> unit;
+      (** fired on transition to Established with negotiated options *)
+  on_update : Message.update -> unit;
+  on_close : string -> unit;  (** session dropped, with reason *)
+}
+
+type t
+
+val create : Peering_sim.Engine.t -> config -> callbacks -> t
+
+val start : t -> unit
+(** Begin session establishment (ManualStart event). *)
+
+val stop : t -> reason:string -> unit
+(** Administratively close (sends CEASE if established). *)
+
+val handle : t -> Message.t -> unit
+(** Deliver a message received from the peer. *)
+
+val state : t -> state
+val negotiated : t -> Wire.session_opts option
+(** Session options once Established. *)
+
+val peer_open : t -> Message.open_msg option
+(** The peer's OPEN, once received. *)
+
+val established_count : t -> int
+(** Number of times this FSM has reached Established (flap counting). *)

@@ -1,0 +1,45 @@
+(** BGP-4 messages (RFC 4271 §4). *)
+
+open Peering_net
+
+type open_msg = {
+  version : int;  (** always 4 *)
+  asn : Asn.t;
+  hold_time : int;  (** seconds; 0 disables keepalives *)
+  router_id : Ipv4.t;
+  capabilities : Capability.t list;
+}
+
+type path_id = int
+
+type update = {
+  withdrawn : (path_id * Prefix.t) list;
+  attrs : Attrs.t option;  (** [None] iff [nlri] is empty *)
+  nlri : (path_id * Prefix.t) list;
+}
+
+type notification = {
+  code : int;
+  subcode : int;
+  reason : string;
+}
+
+type t =
+  | Open of open_msg
+  | Update of update
+  | Keepalive
+  | Notification of notification
+
+(** Standard notification error codes (RFC 4271 §4.5). *)
+module Error : sig
+  val message_header : int
+  val open_message : int
+  val update_message : int
+  val hold_timer_expired : int
+  val fsm : int
+  val cease : int
+end
+
+val update_of_announce : ?path_id:path_id -> Prefix.t -> Attrs.t -> t
+val update_of_withdraw : ?path_id:path_id -> Prefix.t -> t
+val pp : Format.formatter -> t -> unit

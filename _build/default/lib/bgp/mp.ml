@@ -1,0 +1,238 @@
+open Peering_net
+
+type reach = {
+  attrs : Attrs.t;
+  next_hop : Ipv6.t;
+  nlri : Prefix6.t list;
+}
+
+type update6 = Reach of reach | Unreach of Prefix6.t list
+
+let afi_ipv6 = 2
+let safi_unicast = 1
+let mp_reach_code = 14
+let mp_unreach_code = 15
+
+(* ------------------------------------------------------------------ *)
+(* Byte helpers (self-contained; the v4 codec keeps its own). *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u64 b v =
+  for i = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF)
+  done
+
+let put_ipv6 b (a : Ipv6.t) =
+  put_u64 b a.Ipv6.hi;
+  put_u64 b a.Ipv6.lo
+
+let prefix6_wire_bytes p = (Prefix6.len p + 7) / 8
+
+let put_prefix6 b p =
+  put_u8 b (Prefix6.len p);
+  let a = Prefix6.addr p in
+  let nbytes = prefix6_wire_bytes p in
+  for i = 0 to nbytes - 1 do
+    let byte =
+      if i < 8 then
+        Int64.to_int (Int64.shift_right_logical a.Ipv6.hi (56 - (8 * i)))
+        land 0xFF
+      else
+        Int64.to_int (Int64.shift_right_logical a.Ipv6.lo (56 - (8 * (i - 8))))
+        land 0xFF
+    in
+    put_u8 b byte
+  done
+
+type reader = { buf : bytes; mutable pos : int; limit : int }
+
+exception Fail of Wire.error
+
+let need r n = if r.pos + n > r.limit then raise (Fail Wire.Truncated)
+
+let u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  let hi = u8 r in
+  let lo = u8 r in
+  (hi lsl 8) lor lo
+
+let u64 r =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 r))
+  done;
+  !v
+
+let get_ipv6 r =
+  let hi = u64 r in
+  let lo = u64 r in
+  Ipv6.make hi lo
+
+let get_prefix6 r =
+  let len = u8 r in
+  if len > 128 then raise (Fail (Wire.Bad_attribute "v6 prefix length > 128"));
+  let nbytes = (len + 7) / 8 in
+  let hi = ref 0L and lo = ref 0L in
+  for i = 0 to nbytes - 1 do
+    let byte = Int64.of_int (u8 r) in
+    if i < 8 then hi := Int64.logor !hi (Int64.shift_left byte (56 - (8 * i)))
+    else lo := Int64.logor !lo (Int64.shift_left byte (56 - (8 * (i - 8))))
+  done;
+  Prefix6.make (Ipv6.make !hi !lo) len
+
+(* ------------------------------------------------------------------ *)
+(* Encode: build the MP attribute body, wrap it with the shared
+   attributes through the v4 codec's machinery. *)
+
+let mp_reach_body reach =
+  let b = Buffer.create 64 in
+  put_u16 b afi_ipv6;
+  put_u8 b safi_unicast;
+  put_u8 b 16 (* next-hop length *);
+  put_ipv6 b reach.next_hop;
+  put_u8 b 0 (* reserved / SNPA count *);
+  List.iter (put_prefix6 b) reach.nlri;
+  b
+
+let mp_unreach_body prefixes =
+  let b = Buffer.create 32 in
+  put_u16 b afi_ipv6;
+  put_u8 b safi_unicast;
+  List.iter (put_prefix6 b) prefixes;
+  b
+
+(* Splice an extra optional attribute into an encoded UPDATE: we
+   re-encode from scratch instead, building the full attribute section
+   by hand so the message stays canonical. *)
+let put_attribute b ~flags ~code body =
+  let len = Buffer.length body in
+  let flags = if len > 255 then flags lor 0x10 else flags in
+  put_u8 b flags;
+  put_u8 b code;
+  if flags land 0x10 <> 0 then put_u16 b len else put_u8 b len;
+  Buffer.add_buffer b body
+
+let encode opts update =
+  (* Serialise the shared attributes by encoding an empty v4 UPDATE
+     with them, then stripping its framing. *)
+  let shared_attrs =
+    match update with
+    | Reach r -> Some r.attrs
+    | Unreach _ -> None
+  in
+  let base =
+    Wire.encode opts
+      (Message.Update { withdrawn = []; attrs = shared_attrs; nlri = [] })
+  in
+  (* layout of [base]: 16 marker + 2 len + 1 type + 2 withdrawn-len(0)
+     + 2 attr-len + attrs *)
+  let base_attrs_len =
+    (Char.code (Bytes.get base 21) lsl 8) lor Char.code (Bytes.get base 22)
+  in
+  let shared = Bytes.sub base 23 base_attrs_len in
+  let attrs_buf = Buffer.create 128 in
+  Buffer.add_bytes attrs_buf shared;
+  (match update with
+  | Reach r -> put_attribute attrs_buf ~flags:0x80 ~code:mp_reach_code
+      (mp_reach_body r)
+  | Unreach ps ->
+    put_attribute attrs_buf ~flags:0x80 ~code:mp_unreach_code
+      (mp_unreach_body ps));
+  let out = Buffer.create 256 in
+  for _ = 1 to 16 do
+    Buffer.add_char out '\xFF'
+  done;
+  let total = 19 + 2 + 2 + Buffer.length attrs_buf in
+  put_u16 out total;
+  put_u8 out 2 (* UPDATE *);
+  put_u16 out 0 (* no withdrawn routes *);
+  put_u16 out (Buffer.length attrs_buf);
+  Buffer.add_buffer out attrs_buf;
+  Buffer.to_bytes out
+
+(* ------------------------------------------------------------------ *)
+(* Decode *)
+
+let decode opts buf =
+  (* First pass: the v4 codec validates framing and recovers the
+     shared attributes (it skips the MP attributes as unknown
+     optional). *)
+  match Wire.decode opts buf ~pos:0 with
+  | Error e -> Error e
+  | Ok (Message.Open _, _) | Ok (Message.Keepalive, _)
+  | Ok (Message.Notification _, _) ->
+    Error (Wire.Bad_attribute "not an UPDATE")
+  | Ok (Message.Update u, _) -> (
+    (* Second pass: scan the raw attribute section for MP attributes. *)
+    try
+      let wlen =
+        (Char.code (Bytes.get buf 19) lsl 8) lor Char.code (Bytes.get buf 20)
+      in
+      let attrs_at = 21 + wlen in
+      let attrs_len =
+        (Char.code (Bytes.get buf attrs_at) lsl 8)
+        lor Char.code (Bytes.get buf (attrs_at + 1))
+      in
+      let r = { buf; pos = attrs_at + 2; limit = attrs_at + 2 + attrs_len } in
+      let found = ref None in
+      while r.pos < r.limit do
+        let flags = u8 r in
+        let code = u8 r in
+        let len = if flags land 0x10 <> 0 then u16 r else u8 r in
+        need r len;
+        let sub = { buf; pos = r.pos; limit = r.pos + len } in
+        r.pos <- r.pos + len;
+        if code = mp_reach_code then begin
+          let afi = u16 sub in
+          let safi = u8 sub in
+          if afi <> afi_ipv6 || safi <> safi_unicast then
+            raise (Fail (Wire.Bad_attribute "unsupported AFI/SAFI"));
+          let nh_len = u8 sub in
+          if nh_len <> 16 then
+            raise (Fail (Wire.Bad_attribute "bad v6 next-hop length"));
+          let next_hop = get_ipv6 sub in
+          let _reserved = u8 sub in
+          let nlri = ref [] in
+          while sub.pos < sub.limit do
+            nlri := get_prefix6 sub :: !nlri
+          done;
+          let attrs =
+            Option.value u.Message.attrs
+              ~default:(Attrs.make ~next_hop:(Ipv4.of_int 0) ())
+          in
+          found := Some (Reach { attrs; next_hop; nlri = List.rev !nlri })
+        end
+        else if code = mp_unreach_code then begin
+          let afi = u16 sub in
+          let safi = u8 sub in
+          if afi <> afi_ipv6 || safi <> safi_unicast then
+            raise (Fail (Wire.Bad_attribute "unsupported AFI/SAFI"));
+          let prefixes = ref [] in
+          while sub.pos < sub.limit do
+            prefixes := get_prefix6 sub :: !prefixes
+          done;
+          found := Some (Unreach (List.rev !prefixes))
+        end
+      done;
+      match !found with
+      | Some m -> Ok m
+      | None -> Error (Wire.Bad_attribute "no MP attribute present")
+    with Fail e -> Error e)
+
+let announce ?attrs ~next_hop nlri =
+  let attrs =
+    Option.value attrs ~default:(Attrs.make ~next_hop:(Ipv4.of_int 0) ())
+  in
+  Reach { attrs; next_hop; nlri }
+
+let withdraw prefixes = Unreach prefixes

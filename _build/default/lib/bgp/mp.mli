@@ -1,0 +1,39 @@
+(** Multiprotocol BGP (RFC 4760) for IPv6 unicast — the control-plane
+    side of PEERING's planned IPv6 support.
+
+    IPv6 reachability rides in ordinary BGP UPDATE messages whose
+    path attributes carry MP_REACH_NLRI (type 14: AFI 2, SAFI 1, a
+    16-byte next hop, and v6 NLRI) or MP_UNREACH_NLRI (type 15).
+    Because both attributes are optional, speakers without this module
+    skip them cleanly ({!Wire.decode} ignores unknown optional
+    attributes), which is exactly the incremental-deployment story the
+    paper cares about. *)
+
+open Peering_net
+
+type reach = {
+  attrs : Attrs.t;
+      (** shared attributes (origin, AS path, communities); the v4
+          next-hop field inside is ignored on the wire *)
+  next_hop : Ipv6.t;
+  nlri : Prefix6.t list;
+}
+
+type update6 =
+  | Reach of reach
+  | Unreach of Prefix6.t list
+
+val encode : Wire.session_opts -> update6 -> bytes
+(** Serialise as a complete BGP UPDATE message (19-byte header
+    included). *)
+
+val decode : Wire.session_opts -> bytes -> (update6, Wire.error) result
+(** Parse a BGP UPDATE containing MP attributes. Returns
+    [Error (Bad_attribute _)] when the message holds no MP_REACH or
+    MP_UNREACH attribute. *)
+
+val announce : ?attrs:Attrs.t -> next_hop:Ipv6.t -> Prefix6.t list -> update6
+(** Convenience constructor; default attributes are IGP origin with an
+    empty AS path. *)
+
+val withdraw : Prefix6.t list -> update6

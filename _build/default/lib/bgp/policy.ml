@@ -1,0 +1,115 @@
+open Peering_net
+
+type cond =
+  | Prefix_in of (Prefix.t * int * int) list
+  | Prefix_exact of Prefix.t list
+  | Path_contains of Asn.t
+  | Originated_by of Asn.t
+  | Neighbor_is of Asn.t
+  | Has_community of Community.t
+  | Path_length_le of int
+  | Has_private_asn
+  | Not of cond
+  | All of cond list
+  | Any of cond list
+
+type action =
+  | Set_local_pref of int
+  | Set_med of int option
+  | Add_community of Community.t
+  | Del_community of Community.t
+  | Clear_communities
+  | Prepend of Asn.t * int
+  | Set_next_hop of Ipv4.t
+  | Strip_private_asns
+
+type decision = Permit | Deny
+
+type entry = {
+  seq : int;
+  decision : decision;
+  conds : cond list;
+  actions : action list;
+}
+
+type t = entry list (* sorted by seq *)
+
+let empty = []
+
+let permit_all =
+  [ { seq = 10; decision = Permit; conds = []; actions = [] } ]
+
+let of_entries l =
+  let sorted = List.sort (fun a b -> Int.compare a.seq b.seq) l in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.seq = b.seq then invalid_arg "Policy.of_entries: duplicate seq";
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let entries t = t
+let add e t = of_entries (e :: t)
+
+let rec eval_cond cond (r : Route.t) =
+  let path = r.attrs.Attrs.as_path in
+  match cond with
+  | Prefix_in l ->
+    List.exists
+      (fun (p, ge, le) ->
+        Prefix.subsumes p r.prefix
+        && Prefix.len r.prefix >= ge
+        && Prefix.len r.prefix <= le)
+      l
+  | Prefix_exact l -> List.exists (Prefix.equal r.prefix) l
+  | Path_contains a -> As_path.mem a path
+  | Originated_by a -> (
+    match As_path.origin_asn path with
+    | Some o -> Asn.equal o a
+    | None -> false)
+  | Neighbor_is a -> (
+    match As_path.neighbor_asn path with
+    | Some n -> Asn.equal n a
+    | None -> false)
+  | Has_community c -> Attrs.has_community c r.attrs
+  | Path_length_le n -> As_path.length path <= n
+  | Has_private_asn -> List.exists Asn.is_private (As_path.to_asns path)
+  | Not c -> not (eval_cond c r)
+  | All cs -> List.for_all (fun c -> eval_cond c r) cs
+  | Any cs -> List.exists (fun c -> eval_cond c r) cs
+
+let apply_action (r : Route.t) action =
+  let attrs = r.attrs in
+  let attrs =
+    match action with
+    | Set_local_pref lp -> Attrs.with_local_pref (Some lp) attrs
+    | Set_med med -> Attrs.with_med med attrs
+    | Add_community c -> Attrs.add_community c attrs
+    | Del_community c ->
+      Attrs.with_communities
+        (Community.remove c attrs.Attrs.communities)
+        attrs
+    | Clear_communities -> Attrs.with_communities [] attrs
+    | Prepend (a, n) ->
+      { attrs with Attrs.as_path = As_path.prepend_n a n attrs.Attrs.as_path }
+    | Set_next_hop nh -> Attrs.with_next_hop nh attrs
+    | Strip_private_asns ->
+      { attrs with Attrs.as_path = As_path.strip_private attrs.Attrs.as_path }
+  in
+  { r with Route.attrs }
+
+let apply t r =
+  let matches e = List.for_all (fun c -> eval_cond c r) e.conds in
+  match List.find_opt matches t with
+  | None -> None
+  | Some e -> (
+    match e.decision with
+    | Deny -> None
+    | Permit -> Some (List.fold_left apply_action r e.actions))
+
+let chain maps r =
+  List.fold_left
+    (fun acc m -> match acc with None -> None | Some r -> apply m r)
+    (Some r) maps

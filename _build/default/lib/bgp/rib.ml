@@ -1,0 +1,103 @@
+open Peering_net
+
+type change = {
+  prefix : Prefix.t;
+  previous : Route.t option;
+  current : Route.t option;
+}
+
+module Smap = Map.Make (String)
+
+type t = {
+  mutable adj_in : Route.t list Prefix_trie.t Smap.t;
+  mutable loc : Route.t Prefix_trie.t;
+}
+
+let create () = { adj_in = Smap.empty; loc = Prefix_trie.empty }
+
+let peer_table t peer =
+  match Smap.find_opt peer t.adj_in with
+  | Some tbl -> tbl
+  | None -> Prefix_trie.empty
+
+let set_peer_table t peer tbl =
+  if Prefix_trie.is_empty tbl then t.adj_in <- Smap.remove peer t.adj_in
+  else t.adj_in <- Smap.add peer tbl t.adj_in
+
+let all_candidates t prefix =
+  Smap.fold
+    (fun _peer tbl acc ->
+      match Prefix_trie.find prefix tbl with
+      | Some routes -> List.rev_append routes acc
+      | None -> acc)
+    t.adj_in []
+
+let recompute t prefix =
+  let previous = Prefix_trie.find prefix t.loc in
+  let current = Decision.best (all_candidates t prefix) in
+  let changed =
+    match (previous, current) with
+    | None, None -> false
+    | Some a, Some b -> not (Route.equal a b)
+    | None, Some _ | Some _, None -> true
+  in
+  if changed then begin
+    (match current with
+    | Some r -> t.loc <- Prefix_trie.add prefix r t.loc
+    | None -> t.loc <- Prefix_trie.remove prefix t.loc);
+    Some { prefix; previous; current }
+  end
+  else None
+
+let announce t ~peer (route : Route.t) =
+  let tbl = peer_table t peer in
+  let prefix = route.Route.prefix in
+  let existing = Option.value (Prefix_trie.find prefix tbl) ~default:[] in
+  let without =
+    List.filter (fun (r : Route.t) -> r.path_id <> route.path_id) existing
+  in
+  set_peer_table t peer (Prefix_trie.add prefix (route :: without) tbl);
+  recompute t prefix
+
+let withdraw t ~peer ?(path_id = 0) prefix =
+  let tbl = peer_table t peer in
+  match Prefix_trie.find prefix tbl with
+  | None -> None
+  | Some routes ->
+    let remaining =
+      List.filter (fun (r : Route.t) -> r.path_id <> path_id) routes
+    in
+    let tbl =
+      if remaining = [] then Prefix_trie.remove prefix tbl
+      else Prefix_trie.add prefix remaining tbl
+    in
+    set_peer_table t peer tbl;
+    recompute t prefix
+
+let drop_peer t ~peer =
+  let tbl = peer_table t peer in
+  let prefixes = List.map fst (Prefix_trie.to_list tbl) in
+  set_peer_table t peer Prefix_trie.empty;
+  List.filter_map (recompute t) prefixes
+
+let peers t = List.map fst (Smap.bindings t.adj_in)
+let best t prefix = Prefix_trie.find prefix t.loc
+let candidates t prefix = Decision.sort (all_candidates t prefix)
+
+let lookup t addr =
+  Option.map snd (Prefix_trie.longest_match addr t.loc)
+
+let fold_best f t acc = Prefix_trie.fold f t.loc acc
+let best_routes t = Prefix_trie.to_list t.loc
+let prefix_count t = Prefix_trie.cardinal t.loc
+
+let route_count t =
+  Smap.fold
+    (fun _ tbl acc ->
+      Prefix_trie.fold (fun _ routes n -> n + List.length routes) tbl acc)
+    t.adj_in 0
+
+let peer_route_count t ~peer =
+  Prefix_trie.fold
+    (fun _ routes n -> n + List.length routes)
+    (peer_table t peer) 0

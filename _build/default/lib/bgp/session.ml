@@ -1,0 +1,114 @@
+open Peering_net
+module Engine = Peering_sim.Engine
+
+type endpoint = { fsm : Fsm.t; addr : Ipv4.t }
+
+type t = {
+  engine : Engine.t;
+  latency : float;
+  mutable a : endpoint;
+  mutable b : endpoint;
+  mutable bytes : int;
+  mutable messages : int;
+}
+
+(* Encode with the sender's negotiated options (default before
+   negotiation), deliver the bytes after [latency], decode with the
+   receiver's options. *)
+let transmit t ~(sender : unit -> Fsm.t) ~(receiver : unit -> Fsm.t) msg =
+  let opts =
+    Option.value (Fsm.negotiated (sender ())) ~default:Wire.default_opts
+  in
+  let bytes = Wire.encode opts msg in
+  t.bytes <- t.bytes + Bytes.length bytes;
+  t.messages <- t.messages + 1;
+  Engine.schedule t.engine ~delay:t.latency (fun () ->
+      let rx = receiver () in
+      let opts =
+        Option.value (Fsm.negotiated rx) ~default:Wire.default_opts
+      in
+      match Wire.decode opts bytes ~pos:0 with
+      | Ok (msg, _) -> Fsm.handle rx msg
+      | Error e ->
+        (* A decode failure is a protocol bug; surface loudly. *)
+        failwith ("Session: wire decode failed: " ^ Wire.error_to_string e))
+
+let nop_established (_ : Wire.session_opts) = ()
+let nop_update (_ : Message.update) = ()
+let nop_close (_ : string) = ()
+
+let create engine ?(latency = 0.01) ~a:(cfg_a, addr_a) ~b:(cfg_b, addr_b)
+    ?(on_update_a = nop_update) ?(on_update_b = nop_update)
+    ?(on_established_a = nop_established) ?(on_established_b = nop_established)
+    ?(on_close_a = nop_close) ?(on_close_b = nop_close) () =
+  (* The wire callbacks read [session.a]/[session.b] at transmit time,
+     so we can seed the record with a placeholder FSM and patch the
+     real ones in before anything runs. *)
+  let placeholder =
+    Fsm.create engine cfg_a
+      { Fsm.send = (fun _ -> ());
+        on_established = nop_established;
+        on_update = nop_update;
+        on_close = nop_close
+      }
+  in
+  let session =
+    { engine;
+      latency;
+      a = { fsm = placeholder; addr = addr_a };
+      b = { fsm = placeholder; addr = addr_b };
+      bytes = 0;
+      messages = 0
+    }
+  in
+  let fsm_a =
+    Fsm.create engine
+      { cfg_a with Fsm.passive = false }
+      { Fsm.send =
+          (fun m ->
+            transmit session
+              ~sender:(fun () -> session.a.fsm)
+              ~receiver:(fun () -> session.b.fsm)
+              m);
+        on_established = on_established_a;
+        on_update = on_update_a;
+        on_close = on_close_a
+      }
+  in
+  let fsm_b =
+    Fsm.create engine
+      { cfg_b with Fsm.passive = true }
+      { Fsm.send =
+          (fun m ->
+            transmit session
+              ~sender:(fun () -> session.b.fsm)
+              ~receiver:(fun () -> session.a.fsm)
+              m);
+        on_established = on_established_b;
+        on_update = on_update_b;
+        on_close = on_close_b
+      }
+  in
+  session.a <- { fsm = fsm_a; addr = addr_a };
+  session.b <- { fsm = fsm_b; addr = addr_b };
+  session
+
+let start t =
+  Fsm.start t.b.fsm;
+  Fsm.start t.a.fsm
+
+let a t = t.a
+let b t = t.b
+
+let established t =
+  Fsm.state t.a.fsm = Fsm.Established && Fsm.state t.b.fsm = Fsm.Established
+
+let send_from_a t msg =
+  transmit t ~sender:(fun () -> t.a.fsm) ~receiver:(fun () -> t.b.fsm) msg
+
+let send_from_b t msg =
+  transmit t ~sender:(fun () -> t.b.fsm) ~receiver:(fun () -> t.a.fsm) msg
+
+let bytes_on_wire t = t.bytes
+let messages_on_wire t = t.messages
+let drop t ~reason = Fsm.stop t.a.fsm ~reason

@@ -1,0 +1,63 @@
+open Peering_net
+
+let max_message = 4096
+let header_overhead = 23 (* marker + length + type + the two length fields *)
+
+let prefix_bytes opts p =
+  (if opts.Wire.add_path then 4 else 0) + 1 + ((Prefix.len p + 7) / 8)
+
+let attrs_bytes opts attrs =
+  (* Encode once to size the fixed part of each message. *)
+  Bytes.length
+    (Wire.encode opts
+       (Message.Update { withdrawn = []; attrs = Some attrs; nlri = [] }))
+  - 19 (* marker+len+type *)
+
+(* Split [prefixes] into chunks whose encoded size fits alongside
+   [fixed] bytes of attribute data. *)
+let chunk opts ~fixed prefixes =
+  let budget = max_message - header_overhead - fixed in
+  let rec go current size acc = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | p :: rest ->
+      let b = prefix_bytes opts p in
+      if size + b > budget && current <> [] then
+        go [ p ] b (List.rev current :: acc) rest
+      else go (p :: current) (size + b) acc rest
+  in
+  go [] 0 [] prefixes
+
+let group ?(opts = Wire.default_opts) announcements =
+  (* Bucket by attribute equality, preserving first-seen order. *)
+  let buckets : (Attrs.t * Prefix.t list ref) list ref = ref [] in
+  List.iter
+    (fun (p, attrs) ->
+      match
+        List.find_opt (fun (a, _) -> Attrs.equal a attrs) !buckets
+      with
+      | Some (_, l) -> l := p :: !l
+      | None -> buckets := !buckets @ [ (attrs, ref [ p ]) ])
+    announcements;
+  List.concat_map
+    (fun (attrs, l) ->
+      let fixed = attrs_bytes opts attrs in
+      List.map
+        (fun prefixes ->
+          { Message.withdrawn = [];
+            attrs = Some attrs;
+            nlri = List.map (fun p -> (0, p)) prefixes
+          })
+        (chunk opts ~fixed (List.rev !l)))
+    !buckets
+
+let group_withdrawals ?(opts = Wire.default_opts) prefixes =
+  List.map
+    (fun chunk_prefixes ->
+      { Message.withdrawn = List.map (fun p -> (0, p)) chunk_prefixes;
+        attrs = None;
+        nlri = []
+      })
+    (chunk opts ~fixed:0 prefixes)
+
+let message_count ?(opts = Wire.default_opts) announcements =
+  List.length (group ~opts announcements)

@@ -1,0 +1,450 @@
+open Peering_net
+
+type session_opts = { four_octet_asn : bool; add_path : bool }
+
+let default_opts = { four_octet_asn = false; add_path = false }
+
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Bad_type of int
+  | Bad_version of int
+  | Bad_attribute of string
+  | Bad_capability of string
+
+let error_to_string = function
+  | Truncated -> "truncated message"
+  | Bad_marker -> "bad marker"
+  | Bad_length n -> Printf.sprintf "bad length %d" n
+  | Bad_type n -> Printf.sprintf "bad message type %d" n
+  | Bad_version n -> Printf.sprintf "bad version %d" n
+  | Bad_attribute s -> Printf.sprintf "bad attribute: %s" s
+  | Bad_capability s -> Printf.sprintf "bad capability: %s" s
+
+let as_trans = 23456
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u16 b v =
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_u32 b v =
+  put_u16 b (v lsr 16);
+  put_u16 b (v land 0xFFFF)
+
+let put_asn opts b asn =
+  let a = Asn.to_int asn in
+  if opts.four_octet_asn then put_u32 b a
+  else put_u16 b (if a > 0xFFFF then as_trans else a)
+
+let prefix_byte_len l = (l + 7) / 8
+
+let put_prefix opts b (path_id, p) =
+  if opts.add_path then put_u32 b path_id;
+  let l = Prefix.len p in
+  put_u8 b l;
+  let a = Ipv4.to_int (Prefix.addr p) in
+  for i = 0 to prefix_byte_len l - 1 do
+    put_u8 b ((a lsr (24 - (8 * i))) land 0xFF)
+  done
+
+let put_as_path opts b path =
+  List.iter
+    (fun seg ->
+      let ty, asns =
+        match seg with
+        | As_path.Set l -> (1, l)
+        | As_path.Seq l -> (2, l)
+      in
+      put_u8 b ty;
+      put_u8 b (List.length asns);
+      List.iter (put_asn opts b) asns)
+    path
+
+(* flags, type code, and body writer *)
+let put_attribute b ~flags ~code body =
+  let len = Buffer.length body in
+  let flags = if len > 255 then flags lor 0x10 else flags in
+  put_u8 b flags;
+  put_u8 b code;
+  if flags land 0x10 <> 0 then put_u16 b len else put_u8 b len;
+  Buffer.add_buffer b body
+
+let encode_attrs opts (a : Attrs.t) =
+  let b = Buffer.create 64 in
+  (* ORIGIN, well-known mandatory *)
+  let body = Buffer.create 1 in
+  put_u8 body (Attrs.origin_rank a.origin);
+  put_attribute b ~flags:0x40 ~code:1 body;
+  (* AS_PATH *)
+  let body = Buffer.create 16 in
+  put_as_path opts body a.as_path;
+  put_attribute b ~flags:0x40 ~code:2 body;
+  (* NEXT_HOP *)
+  let body = Buffer.create 4 in
+  put_u32 body (Ipv4.to_int a.next_hop);
+  put_attribute b ~flags:0x40 ~code:3 body;
+  (* MED, optional non-transitive *)
+  Option.iter
+    (fun med ->
+      let body = Buffer.create 4 in
+      put_u32 body med;
+      put_attribute b ~flags:0x80 ~code:4 body)
+    a.med;
+  (* LOCAL_PREF *)
+  Option.iter
+    (fun lp ->
+      let body = Buffer.create 4 in
+      put_u32 body lp;
+      put_attribute b ~flags:0x40 ~code:5 body)
+    a.local_pref;
+  if a.atomic_aggregate then
+    put_attribute b ~flags:0x40 ~code:6 (Buffer.create 0);
+  Option.iter
+    (fun (asn, addr) ->
+      let body = Buffer.create 8 in
+      put_asn opts body asn;
+      put_u32 body (Ipv4.to_int addr);
+      put_attribute b ~flags:0xC0 ~code:7 body)
+    a.aggregator;
+  if a.communities <> [] then begin
+    let body = Buffer.create (4 * List.length a.communities) in
+    List.iter (fun c -> put_u32 body (Community.to_int32 c)) a.communities;
+    put_attribute b ~flags:0xC0 ~code:8 body
+  end;
+  b
+
+let encode_capability b (cap : Capability.t) =
+  match cap with
+  | Capability.Route_refresh ->
+    put_u8 b 2;
+    put_u8 b 0
+  | Capability.Graceful_restart secs ->
+    put_u8 b 64;
+    put_u8 b 2;
+    put_u16 b (secs land 0x0FFF)
+  | Capability.Four_octet_asn asn ->
+    put_u8 b 65;
+    put_u8 b 4;
+    put_u32 b asn
+  | Capability.Add_path mode ->
+    put_u8 b 69;
+    put_u8 b 4;
+    put_u16 b 1 (* AFI IPv4 *);
+    put_u8 b 1 (* SAFI unicast *);
+    put_u8 b
+      (match mode with
+      | Capability.Receive -> 1
+      | Capability.Send -> 2
+      | Capability.Send_receive -> 3)
+
+let encode_open (o : Message.open_msg) =
+  let b = Buffer.create 64 in
+  put_u8 b o.version;
+  let a = Asn.to_int o.asn in
+  put_u16 b (if a > 0xFFFF then as_trans else a);
+  put_u16 b o.hold_time;
+  put_u32 b (Ipv4.to_int o.router_id);
+  let caps = Buffer.create 32 in
+  List.iter (encode_capability caps) o.capabilities;
+  if Buffer.length caps = 0 then put_u8 b 0
+  else begin
+    (* one optional parameter of type 2 (capabilities) *)
+    put_u8 b (Buffer.length caps + 2);
+    put_u8 b 2;
+    put_u8 b (Buffer.length caps);
+    Buffer.add_buffer b caps
+  end;
+  b
+
+let encode_update opts (u : Message.update) =
+  let b = Buffer.create 128 in
+  let withdrawn = Buffer.create 32 in
+  List.iter (put_prefix opts withdrawn) u.withdrawn;
+  put_u16 b (Buffer.length withdrawn);
+  Buffer.add_buffer b withdrawn;
+  let attrs =
+    match u.attrs with
+    | Some a -> encode_attrs opts a
+    | None -> Buffer.create 0
+  in
+  put_u16 b (Buffer.length attrs);
+  Buffer.add_buffer b attrs;
+  List.iter (put_prefix opts b) u.nlri;
+  b
+
+let encode_notification (n : Message.notification) =
+  let b = Buffer.create 32 in
+  put_u8 b n.code;
+  put_u8 b n.subcode;
+  Buffer.add_string b n.reason;
+  b
+
+let encode opts msg =
+  let ty, body =
+    match msg with
+    | Message.Open o -> (1, encode_open o)
+    | Message.Update u -> (2, encode_update opts u)
+    | Message.Notification n -> (3, encode_notification n)
+    | Message.Keepalive -> (4, Buffer.create 0)
+  in
+  let b = Buffer.create (19 + Buffer.length body) in
+  for _ = 1 to 16 do
+    Buffer.add_char b '\xFF'
+  done;
+  put_u16 b (19 + Buffer.length body);
+  put_u8 b ty;
+  Buffer.add_buffer b body;
+  Buffer.to_bytes b
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+exception Fail of error
+
+type reader = { buf : bytes; mutable pos : int; limit : int }
+
+let need r n = if r.pos + n > r.limit then raise (Fail Truncated)
+
+let u8 r =
+  need r 1;
+  let v = Char.code (Bytes.get r.buf r.pos) in
+  r.pos <- r.pos + 1;
+  v
+
+let u16 r =
+  let hi = u8 r in
+  let lo = u8 r in
+  (hi lsl 8) lor lo
+
+let u32 r =
+  let hi = u16 r in
+  let lo = u16 r in
+  (hi lsl 16) lor lo
+
+let get_asn opts r = Asn.of_int (if opts.four_octet_asn then u32 r else u16 r)
+
+let get_prefix opts r =
+  let path_id = if opts.add_path then u32 r else 0 in
+  let l = u8 r in
+  if l > 32 then raise (Fail (Bad_attribute "prefix length > 32"));
+  let nbytes = prefix_byte_len l in
+  let a = ref 0 in
+  for i = 0 to nbytes - 1 do
+    a := !a lor (u8 r lsl (24 - (8 * i)))
+  done;
+  (path_id, Prefix.make (Ipv4.of_int !a) l)
+
+let get_prefixes opts r =
+  let acc = ref [] in
+  while r.pos < r.limit do
+    acc := get_prefix opts r :: !acc
+  done;
+  List.rev !acc
+
+let get_as_path opts r =
+  let segs = ref [] in
+  while r.pos < r.limit do
+    let ty = u8 r in
+    let n = u8 r in
+    let asns = List.init n (fun _ -> get_asn opts r) in
+    let seg =
+      match ty with
+      | 1 -> As_path.Set asns
+      | 2 -> As_path.Seq asns
+      | t -> raise (Fail (Bad_attribute (Printf.sprintf "segment type %d" t)))
+    in
+    segs := seg :: !segs
+  done;
+  List.rev !segs
+
+type partial_attrs = {
+  mutable p_origin : Attrs.origin option;
+  mutable p_as_path : As_path.t option;
+  mutable p_next_hop : Ipv4.t option;
+  mutable p_med : int option;
+  mutable p_local_pref : int option;
+  mutable p_atomic : bool;
+  mutable p_aggregator : (Asn.t * Ipv4.t) option;
+  mutable p_communities : Community.t list;
+}
+
+let decode_attrs opts r =
+  let p =
+    { p_origin = None;
+      p_as_path = None;
+      p_next_hop = None;
+      p_med = None;
+      p_local_pref = None;
+      p_atomic = false;
+      p_aggregator = None;
+      p_communities = []
+    }
+  in
+  while r.pos < r.limit do
+    let flags = u8 r in
+    let code = u8 r in
+    let len = if flags land 0x10 <> 0 then u16 r else u8 r in
+    need r len;
+    let sub = { buf = r.buf; pos = r.pos; limit = r.pos + len } in
+    r.pos <- r.pos + len;
+    (match code with
+    | 1 ->
+      p.p_origin <-
+        Some
+          (match u8 sub with
+          | 0 -> Attrs.IGP
+          | 1 -> Attrs.EGP
+          | 2 -> Attrs.INCOMPLETE
+          | o -> raise (Fail (Bad_attribute (Printf.sprintf "origin %d" o))))
+    | 2 -> p.p_as_path <- Some (get_as_path opts sub)
+    | 3 -> p.p_next_hop <- Some (Ipv4.of_int (u32 sub))
+    | 4 -> p.p_med <- Some (u32 sub)
+    | 5 -> p.p_local_pref <- Some (u32 sub)
+    | 6 -> p.p_atomic <- true
+    | 7 ->
+      let asn = get_asn opts sub in
+      let addr = Ipv4.of_int (u32 sub) in
+      p.p_aggregator <- Some (asn, addr)
+    | 8 ->
+      let cs = ref [] in
+      while sub.pos < sub.limit do
+        cs := Community.of_int32 (u32 sub) :: !cs
+      done;
+      p.p_communities <- List.rev !cs
+    | _ when flags land 0x80 <> 0 -> () (* skip unknown optional *)
+    | c -> raise (Fail (Bad_attribute (Printf.sprintf "unknown mandatory %d" c))))
+  done;
+  match (p.p_origin, p.p_as_path, p.p_next_hop) with
+  | Some origin, Some as_path, Some next_hop ->
+    Some
+      (Attrs.make ~origin ~as_path ?med:p.p_med ?local_pref:p.p_local_pref
+         ~atomic_aggregate:p.p_atomic ?aggregator:p.p_aggregator
+         ~communities:p.p_communities ~next_hop ())
+  | None, None, None ->
+    (* Only optional attributes (e.g. MP_REACH/MP_UNREACH, RFC 4760):
+       legal for an UPDATE without v4 NLRI. *)
+    None
+  | None, _, _ -> raise (Fail (Bad_attribute "missing ORIGIN"))
+  | _, None, _ -> raise (Fail (Bad_attribute "missing AS_PATH"))
+  | _, _, None -> raise (Fail (Bad_attribute "missing NEXT_HOP"))
+
+let decode_capability r =
+  let code = u8 r in
+  let len = u8 r in
+  need r len;
+  let sub = { buf = r.buf; pos = r.pos; limit = r.pos + len } in
+  r.pos <- r.pos + len;
+  match code with
+  | 2 -> Some Capability.Route_refresh
+  | 64 -> Some (Capability.Graceful_restart (u16 sub land 0x0FFF))
+  | 65 -> Some (Capability.Four_octet_asn (u32 sub))
+  | 69 ->
+    let _afi = u16 sub in
+    let _safi = u8 sub in
+    let mode =
+      match u8 sub with
+      | 1 -> Capability.Receive
+      | 2 -> Capability.Send
+      | 3 -> Capability.Send_receive
+      | m -> raise (Fail (Bad_capability (Printf.sprintf "add-path mode %d" m)))
+    in
+    Some (Capability.Add_path mode)
+  | _ -> None (* ignore unknown capabilities *)
+
+let decode_open r =
+  let version = u8 r in
+  if version <> 4 then raise (Fail (Bad_version version));
+  let asn16 = u16 r in
+  let hold_time = u16 r in
+  let router_id = Ipv4.of_int (u32 r) in
+  let opt_len = u8 r in
+  need r opt_len;
+  let params = { buf = r.buf; pos = r.pos; limit = r.pos + opt_len } in
+  r.pos <- r.pos + opt_len;
+  let caps = ref [] in
+  while params.pos < params.limit do
+    let pty = u8 params in
+    let plen = u8 params in
+    need params plen;
+    let sub = { buf = params.buf; pos = params.pos; limit = params.pos + plen } in
+    params.pos <- params.pos + plen;
+    if pty = 2 then
+      while sub.pos < sub.limit do
+        match decode_capability sub with
+        | Some c -> caps := c :: !caps
+        | None -> ()
+      done
+  done;
+  let capabilities = List.rev !caps in
+  (* If a 4-octet capability is present it carries the true ASN. *)
+  let asn =
+    match
+      List.find_map
+        (function Capability.Four_octet_asn a -> Some a | _ -> None)
+        capabilities
+    with
+    | Some a -> Asn.of_int a
+    | None -> Asn.of_int asn16
+  in
+  Message.Open { version; asn; hold_time; router_id; capabilities }
+
+let decode_update opts r =
+  let wlen = u16 r in
+  need r wlen;
+  let wsub = { buf = r.buf; pos = r.pos; limit = r.pos + wlen } in
+  r.pos <- r.pos + wlen;
+  let withdrawn = get_prefixes opts wsub in
+  let alen = u16 r in
+  need r alen;
+  let asub = { buf = r.buf; pos = r.pos; limit = r.pos + alen } in
+  r.pos <- r.pos + alen;
+  let attrs = if alen = 0 then None else decode_attrs opts asub in
+  let nlri = get_prefixes opts r in
+  if nlri <> [] && attrs = None then
+    raise (Fail (Bad_attribute "NLRI without path attributes"));
+  Message.Update { withdrawn; attrs; nlri }
+
+let decode_notification r =
+  let code = u8 r in
+  let subcode = u8 r in
+  let reason = Bytes.sub_string r.buf r.pos (r.limit - r.pos) in
+  r.pos <- r.limit;
+  Message.Notification { code; subcode; reason }
+
+let decode opts buf ~pos =
+  try
+    let total = Bytes.length buf in
+    if pos + 19 > total then raise (Fail Truncated);
+    for i = pos to pos + 15 do
+      if Bytes.get buf i <> '\xFF' then raise (Fail Bad_marker)
+    done;
+    let hdr = { buf; pos = pos + 16; limit = total } in
+    let len = u16 hdr in
+    if len < 19 || len > 4096 then raise (Fail (Bad_length len));
+    if pos + len > total then raise (Fail Truncated);
+    let ty = u8 hdr in
+    let r = { buf; pos = pos + 19; limit = pos + len } in
+    let msg =
+      match ty with
+      | 1 -> decode_open r
+      | 2 -> decode_update opts r
+      | 3 -> decode_notification r
+      | 4 ->
+        if len <> 19 then raise (Fail (Bad_length len));
+        Message.Keepalive
+      | t -> raise (Fail (Bad_type t))
+    in
+    Ok (msg, pos + len)
+  with Fail e -> Error e
+
+let decode_exn opts buf =
+  match decode opts buf ~pos:0 with
+  | Ok (msg, n) when n = Bytes.length buf -> msg
+  | Ok _ -> failwith "Wire.decode_exn: trailing bytes"
+  | Error e -> failwith ("Wire.decode_exn: " ^ error_to_string e)

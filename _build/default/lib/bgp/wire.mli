@@ -1,0 +1,37 @@
+(** Binary encoding of BGP messages (RFC 4271), with 4-octet ASNs
+    (RFC 6793) and ADD-PATH prefixes (RFC 7911).
+
+    Whether ASNs occupy 2 or 4 bytes and whether NLRI carry path
+    identifiers is session state negotiated via OPEN capabilities, so
+    both directions of the codec take explicit {!session_opts}. *)
+
+type session_opts = {
+  four_octet_asn : bool;  (** encode ASNs on 4 bytes in AS_PATH etc. *)
+  add_path : bool;  (** prefixes carry a 4-byte path identifier *)
+}
+
+val default_opts : session_opts
+(** 2-byte ASNs, no ADD-PATH — what a pre-negotiation decoder assumes
+    (OPEN messages themselves never depend on the options). *)
+
+type error =
+  | Truncated
+  | Bad_marker
+  | Bad_length of int
+  | Bad_type of int
+  | Bad_version of int
+  | Bad_attribute of string
+  | Bad_capability of string
+
+val error_to_string : error -> string
+
+val encode : session_opts -> Message.t -> bytes
+(** Serialise a message, including the 19-byte header. *)
+
+val decode : session_opts -> bytes -> pos:int -> (Message.t * int, error) result
+(** [decode opts buf ~pos] parses one message starting at [pos];
+    returns the message and the position one past its end. *)
+
+val decode_exn : session_opts -> bytes -> Message.t
+(** Decode a buffer holding exactly one message; raises [Failure] on
+    any error or trailing bytes. Convenience for tests. *)

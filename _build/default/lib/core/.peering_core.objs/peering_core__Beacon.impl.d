@@ -1,0 +1,1 @@
+lib/core/beacon.ml: Client Controller List Peering_sim Result Testbed

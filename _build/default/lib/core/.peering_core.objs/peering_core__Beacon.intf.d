@@ -1,0 +1,1 @@
+lib/core/beacon.mli: Client Peering_net Prefix Testbed

@@ -1,0 +1,1 @@
+lib/core/client.ml: Asn Experiment List Option Peering_bgp Peering_net Printf Rib Route Server

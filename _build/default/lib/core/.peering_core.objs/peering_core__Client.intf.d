@@ -1,0 +1,1 @@
+lib/core/client.mli: Asn Experiment Ipv4 Peering_bgp Peering_net Prefix Rib Route Safety Server

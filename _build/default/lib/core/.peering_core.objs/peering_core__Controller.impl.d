@@ -1,0 +1,1 @@
+lib/core/controller.ml: Asn Experiment List Option Peering_net Peering_sim Prefix6 Prefix_pool Printf String

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Experiment Peering_net Peering_sim Prefix Prefix6

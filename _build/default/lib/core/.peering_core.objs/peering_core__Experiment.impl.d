@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Asn Format List Peering_net Prefix Prefix6 String

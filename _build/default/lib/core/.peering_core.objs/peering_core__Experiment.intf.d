@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Asn Format Peering_net Prefix Prefix6

@@ -1,0 +1,1 @@
+lib/core/portal.ml: Buffer Controller Experiment Filename Hashtbl Ipv4 List Peering_net Peering_router Prefix Printf String Testbed

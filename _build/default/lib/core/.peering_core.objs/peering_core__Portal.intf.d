@@ -1,0 +1,1 @@
+lib/core/portal.mli: Experiment Ipv4 Peering_net Testbed

@@ -1,0 +1,1 @@
+lib/core/safety.ml: Asn Dampening Experiment List Option Peering_bgp Peering_net Prefix Printf

@@ -1,0 +1,1 @@
+lib/core/safety.mli: Asn Dampening Experiment Peering_bgp Peering_net Prefix

@@ -1,0 +1,1 @@
+lib/core/sdx.ml: Asn Fib Forwarder List Packet_program Peering_dataplane Peering_net Peering_sim Prefix Printf

@@ -1,0 +1,1 @@
+lib/core/sdx.mli: Asn Forwarder Packet_program Peering_dataplane Peering_net Peering_sim Prefix

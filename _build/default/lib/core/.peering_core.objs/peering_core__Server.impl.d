@@ -1,0 +1,1 @@
+lib/core/server.ml: As_path Asn Attrs Experiment Hashtbl Ipv4 List Option Peering_bgp Peering_net Peering_sim Prefix Printf Route Safety

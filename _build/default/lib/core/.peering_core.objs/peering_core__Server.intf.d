@@ -1,0 +1,1 @@
+lib/core/server.mli: Asn Experiment Ipv4 Peering_bgp Peering_net Peering_sim Prefix Route Safety

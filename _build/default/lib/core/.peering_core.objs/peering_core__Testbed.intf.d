@@ -1,0 +1,1 @@
+lib/core/testbed.mli: Amsix As_graph Asn Client Controller Experiment Fabric Gen Peering_bgp Peering_ixp Peering_measure Peering_net Peering_sim Peering_topo Prefix Propagation Safety Server

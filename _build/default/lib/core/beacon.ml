@@ -1,0 +1,34 @@
+
+type t = {
+  mutable log : (float * [ `Announce | `Withdraw ]) list;  (* newest first *)
+  mutable suppressed : int;
+}
+
+let start testbed client ~prefix ?(period = 7200.0) ?(rounds = 4) () =
+  let t = { log = []; suppressed = 0 } in
+  let ctl = Testbed.controller testbed in
+  let engine = Testbed.engine testbed in
+  let module Engine = Peering_sim.Engine in
+  for round = 0 to rounds - 1 do
+    let announce_at = Engine.now engine +. (float_of_int (2 * round) +. 1.0) *. period in
+    let withdraw_at = announce_at +. period in
+    Controller.schedule_announcement ctl ~at:announce_at
+      ~action:(fun () ->
+        let outcomes = Client.announce client prefix in
+        let ok =
+          List.exists (fun (_, r) -> Result.is_ok r) outcomes
+        in
+        if ok then t.log <- (Engine.now engine, `Announce) :: t.log
+        else t.suppressed <- t.suppressed + 1)
+      ();
+    Controller.schedule_announcement ctl ~at:withdraw_at
+      ~action:(fun () ->
+        Client.withdraw client prefix;
+        t.log <- (Engine.now engine, `Withdraw) :: t.log)
+      ()
+  done;
+  t
+
+let events t = List.rev t.log
+let transitions_executed t = List.length t.log
+let suppressed t = t.suppressed

@@ -1,0 +1,36 @@
+(** BGP beacons: prefixes announced and withdrawn on a fixed public
+    schedule (Mao et al., IMC 2003 — one of the systems Table 1
+    compares PEERING against, and a workload PEERING can host
+    natively).
+
+    A beacon alternates announce/withdraw through a client at a fixed
+    period using the controller's scheduler; every transition is
+    visible in the testbed collector, and the schedule is spaced so
+    RFC 2439 dampening never suppresses it (the classic beacons used
+    2-hour periods for exactly this reason). *)
+
+open Peering_net
+
+type t
+
+val start :
+  Testbed.t ->
+  Client.t ->
+  prefix:Prefix.t ->
+  ?period:float ->
+  ?rounds:int ->
+  unit ->
+  t
+(** Schedule [rounds] announce/withdraw cycles (default 4) with
+    [period] seconds between transitions (default 7200 — the classic
+    two hours). The first announcement fires after one period. Drive
+    the engine to execute. *)
+
+val events : t -> (float * [ `Announce | `Withdraw ]) list
+(** Transitions executed so far, oldest first, with their virtual
+    times. *)
+
+val transitions_executed : t -> int
+val suppressed : t -> int
+(** Announcements refused by safety (dampening) — 0 for a well-spaced
+    beacon. *)

@@ -1,0 +1,64 @@
+(** The PEERING safety layer (paper §3, "Enforcing safety").
+
+    Servers interpose on everything clients do, so this is where the
+    testbed guarantees it cannot harm the Internet: no hijacks (only
+    allocated prefixes may be announced), no leaks (only PEERING's
+    public ASN reaches peers unless poisoning was vetted), isolation
+    between experiments, and route-flap dampening so flapping clients
+    cannot destabilise upstream routing. *)
+
+open Peering_net
+open Peering_bgp
+
+type reason =
+  | Experiment_not_active
+  | Prefix_not_owned  (** outside PEERING's address supply — a hijack *)
+  | Prefix_not_allocated
+      (** inside PEERING space but not this experiment's — isolation *)
+  | Foreign_origin of Asn.t
+      (** the announced origin ASN is neither PEERING's nor one of the
+          experiment's private ASNs *)
+  | Poisoning_not_permitted of Asn.t
+      (** public ASN in the path suffix without vetting *)
+  | Dampened of float  (** suppressed until the given virtual time *)
+  | Announced_by_other_experiment
+
+val reason_to_string : reason -> string
+
+type t
+
+val create :
+  ?dampening:Dampening.params ->
+  peering_asn:Asn.t ->
+  owns:(Prefix.t -> bool) ->
+  unit ->
+  t
+(** [owns] is the testbed's supply test ({!Peering_net.Prefix_pool.mem_supply}). *)
+
+val check_announce :
+  t ->
+  now:float ->
+  client:string ->
+  experiment:Experiment.t ->
+  prefix:Prefix.t ->
+  path_suffix:Asn.t list ->
+  (unit, reason) result
+(** Validate (and on success register) a client announcement. A prefix
+    whose withdrawals have accumulated too much dampening penalty gets
+    [Dampened]. *)
+
+val note_withdraw : t -> now:float -> client:string -> prefix:Prefix.t -> unit
+(** Withdrawals count as flaps. *)
+
+val release : t -> client:string -> prefix:Prefix.t -> unit
+(** Forget the registration (client disconnect), keeping the
+    dampening history. *)
+
+val announced_by : t -> Prefix.t -> string option
+(** Which client currently has the prefix announced, if any. *)
+
+val sanitize_suffix : t -> Experiment.t -> Asn.t list -> Asn.t list
+(** The path suffix as the Internet will see it: private ASNs
+    stripped; with poisoning vetted, public ASNs retained. *)
+
+val suppressed_until : t -> now:float -> client:string -> Prefix.t -> float option

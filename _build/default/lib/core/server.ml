@@ -1,0 +1,240 @@
+open Peering_net
+open Peering_bgp
+module Engine = Peering_sim.Engine
+
+type mux_mode = Per_peer_sessions | Add_path_mux
+
+type peer_kind = Transit | Ixp_peer | Route_server_peer
+
+type peer = {
+  peer_asn : Asn.t;
+  kind : peer_kind;
+  addr : Ipv4.t;
+}
+
+type export_event =
+  | Export_announce of {
+      client : string;
+      prefix : Prefix.t;
+      path_suffix : Asn.t list;
+      peers : Asn.Set.t;
+    }
+  | Export_withdraw of { client : string; prefix : Prefix.t }
+
+type client_callbacks = {
+  route_update : peer:Asn.t -> Route.t -> unit;
+  route_withdraw : peer:Asn.t -> Prefix.t -> unit;
+}
+
+type client_conn = {
+  id : string;
+  experiment : Experiment.t;
+  callbacks : client_callbacks option;
+  mutable announced : Asn.Set.t Prefix.Map.t;  (* prefix -> target peers *)
+}
+
+type t = {
+  engine : Engine.t;
+  server_name : string;
+  asn : Asn.t;
+  safety : Safety.t;
+  mux : mux_mode;
+  export : export_event -> unit;
+  mutable peer_list : peer list;
+  (* peer asn -> (prefix -> route as learned) *)
+  learned : (int, Route.t Prefix.Map.t ref) Hashtbl.t;
+  mutable conns : client_conn list;
+}
+
+let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
+  { engine;
+    server_name = name;
+    asn;
+    safety;
+    mux;
+    export;
+    peer_list = [];
+    learned = Hashtbl.create 64;
+    conns = []
+  }
+
+let name t = t.server_name
+let asn t = t.asn
+let mux_mode t = t.mux
+
+let default_peer_addr asn =
+  (* A stable synthetic session address per peer ASN. *)
+  let a = Asn.to_int asn in
+  Ipv4.of_octets 172 (16 + (a lsr 16 land 0x0F)) (a lsr 8 land 0xFF)
+    (a land 0xFF)
+
+let add_peer t ~kind ?addr peer_asn =
+  if List.exists (fun p -> Asn.equal p.peer_asn peer_asn) t.peer_list then
+    invalid_arg "Server.add_peer: duplicate peer";
+  let addr = Option.value addr ~default:(default_peer_addr peer_asn) in
+  t.peer_list <- t.peer_list @ [ { peer_asn; kind; addr } ]
+
+let peers t = t.peer_list
+let peer_asns t = List.map (fun p -> p.peer_asn) t.peer_list
+let n_peers t = List.length t.peer_list
+
+let find_conn t id = List.find_opt (fun c -> c.id = id) t.conns
+
+let find_conn_exn t id =
+  match find_conn t id with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Server %s: unknown client %s" t.server_name id)
+
+let peer_table t peer_asn =
+  match Hashtbl.find_opt t.learned (Asn.to_int peer_asn) with
+  | Some r -> r
+  | None ->
+    let r = ref Prefix.Map.empty in
+    Hashtbl.replace t.learned (Asn.to_int peer_asn) r;
+    r
+
+let replay_to conn t =
+  match conn.callbacks with
+  | None -> ()
+  | Some cb ->
+    List.iter
+      (fun p ->
+        let table = peer_table t p.peer_asn in
+        Prefix.Map.iter
+          (fun _ route -> cb.route_update ~peer:p.peer_asn route)
+          !table)
+      t.peer_list
+
+let connect_client t ~experiment ?callbacks id =
+  if find_conn t id <> None then
+    invalid_arg "Server.connect_client: duplicate client id";
+  let conn = { id; experiment; callbacks; announced = Prefix.Map.empty } in
+  t.conns <- t.conns @ [ conn ];
+  replay_to conn t
+
+let clients t = List.map (fun c -> c.id) t.conns
+let n_clients t = List.length t.conns
+
+let announce t ~client ?peers ?(path_suffix = []) prefix =
+  let conn = find_conn_exn t client in
+  let now = Engine.now t.engine in
+  match
+    Safety.check_announce t.safety ~now ~client ~experiment:conn.experiment
+      ~prefix ~path_suffix
+  with
+  | Error e -> Error e
+  | Ok () ->
+    let sanitized = Safety.sanitize_suffix t.safety conn.experiment path_suffix in
+    let all_peers = Asn.Set.of_list (peer_asns t) in
+    let targets =
+      match peers with
+      | None -> all_peers
+      | Some l -> Asn.Set.inter all_peers (Asn.Set.of_list l)
+    in
+    conn.announced <- Prefix.Map.add prefix targets conn.announced;
+    t.export
+      (Export_announce { client; prefix; path_suffix = sanitized; peers = targets });
+    Ok ()
+
+let withdraw t ~client prefix =
+  let conn = find_conn_exn t client in
+  if Prefix.Map.mem prefix conn.announced then begin
+    conn.announced <- Prefix.Map.remove prefix conn.announced;
+    Safety.note_withdraw t.safety ~now:(Engine.now t.engine) ~client ~prefix;
+    t.export (Export_withdraw { client; prefix })
+  end
+
+let announced_prefixes t ~client =
+  let conn = find_conn_exn t client in
+  List.map fst (Prefix.Map.bindings conn.announced)
+
+let disconnect_client t id =
+  match find_conn t id with
+  | None -> ()
+  | Some conn ->
+    List.iter (fun (p, _) -> withdraw t ~client:id p)
+      (Prefix.Map.bindings conn.announced);
+    List.iter
+      (fun (p, _) -> Safety.release t.safety ~client:id ~prefix:p)
+      (Prefix.Map.bindings conn.announced);
+    t.conns <- List.filter (fun c -> c.id <> id) t.conns
+
+let peer_of_asn t peer_asn =
+  List.find_opt (fun p -> Asn.equal p.peer_asn peer_asn) t.peer_list
+
+let learn_route t ~peer ~path prefix =
+  match peer_of_asn t peer with
+  | None -> invalid_arg "Server.learn_route: unknown peer"
+  | Some p ->
+    let attrs =
+      Attrs.make ~as_path:(As_path.of_asns path) ~next_hop:p.addr ()
+    in
+    let source =
+      { Route.peer_asn = peer; peer_addr = p.addr; peer_router_id = p.addr;
+        ebgp = true }
+    in
+    let route =
+      Route.make ~source ~learned_at:(Engine.now t.engine) prefix attrs
+    in
+    let table = peer_table t peer in
+    table := Prefix.Map.add prefix route !table;
+    List.iter
+      (fun conn ->
+        match conn.callbacks with
+        | Some cb -> cb.route_update ~peer route
+        | None -> ())
+      t.conns
+
+let withdraw_learned t ~peer prefix =
+  let table = peer_table t peer in
+  if Prefix.Map.mem prefix !table then begin
+    table := Prefix.Map.remove prefix !table;
+    List.iter
+      (fun conn ->
+        match conn.callbacks with
+        | Some cb -> cb.route_withdraw ~peer prefix
+        | None -> ())
+      t.conns
+  end
+
+let learned_route_count t =
+  Hashtbl.fold (fun _ r acc -> acc + Prefix.Map.cardinal !r) t.learned 0
+
+let routes_from_peer t peer =
+  Prefix.Map.cardinal !(peer_table t peer)
+
+type session_stats = {
+  mode : mux_mode;
+  n_peers : int;
+  n_clients : int;
+  peer_sessions : int;
+  client_sessions : int;
+  total_sessions : int;
+  est_memory_bytes : int;
+  keepalives_per_hour : int;
+}
+
+(* Session-state model: Quagga's struct peer plus I/O buffers is on
+   the order of 64 KiB per configured session. Keepalives default to
+   one per 30 s per live session. *)
+let session_memory_bytes = 64 * 1024
+let keepalives_per_session_hour = 120
+
+let session_stats t =
+  let n_peers = n_peers t and n_clients = n_clients t in
+  let client_sessions =
+    match t.mux with
+    | Per_peer_sessions -> n_clients * n_peers
+    | Add_path_mux -> n_clients
+  in
+  let peer_sessions = n_peers in
+  let total_sessions = peer_sessions + client_sessions in
+  { mode = t.mux;
+    n_peers;
+    n_clients;
+    peer_sessions;
+    client_sessions;
+    total_sessions;
+    est_memory_bytes = total_sessions * session_memory_bytes;
+    keepalives_per_hour = total_sessions * keepalives_per_session_hour
+  }

@@ -1,0 +1,123 @@
+(** A PEERING server ("mux").
+
+    The server holds the real BGP sessions with upstream transit
+    providers and IXP peers, but deliberately runs {e no} route
+    selection: every route from every peer is relayed to every hosted
+    client, and each client independently decides what to announce,
+    to which peers, and which routes to use (paper §3). The server's
+    jobs are relaying, bookkeeping, and safety.
+
+    Two session-multiplexing models are supported, matching the
+    paper's Quagga-vs-BIRD discussion: [Per_peer_sessions] gives each
+    client one BGP session per upstream peer (Quagga, current
+    deployment), while [Add_path_mux] multiplexes all peers' routes
+    over a single ADD-PATH session per client (planned BIRD
+    deployment). The relayed state is identical; {!session_stats}
+    exposes the cost difference (ablation A2). *)
+
+open Peering_net
+open Peering_bgp
+
+type mux_mode = Per_peer_sessions | Add_path_mux
+
+type peer_kind =
+  | Transit  (** a university-site upstream provider *)
+  | Ixp_peer  (** bilateral peer at an IXP *)
+  | Route_server_peer  (** reached via an IXP route server *)
+
+type peer = {
+  peer_asn : Asn.t;
+  kind : peer_kind;
+  addr : Ipv4.t;
+}
+
+(** What the server asks the outside world to do — the testbed wires
+    this into the simulated Internet. *)
+type export_event =
+  | Export_announce of {
+      client : string;
+      prefix : Prefix.t;
+      path_suffix : Asn.t list;  (** sanitized; after the PEERING ASN *)
+      peers : Asn.Set.t;  (** which upstream peers receive it *)
+    }
+  | Export_withdraw of { client : string; prefix : Prefix.t }
+
+type client_callbacks = {
+  route_update : peer:Asn.t -> Route.t -> unit;
+  route_withdraw : peer:Asn.t -> Prefix.t -> unit;
+}
+
+type t
+
+val create :
+  Peering_sim.Engine.t ->
+  name:string ->
+  asn:Asn.t ->
+  safety:Safety.t ->
+  ?mux:mux_mode ->
+  export:(export_event -> unit) ->
+  unit ->
+  t
+
+val name : t -> string
+val asn : t -> Asn.t
+val mux_mode : t -> mux_mode
+
+val add_peer : t -> kind:peer_kind -> ?addr:Ipv4.t -> Asn.t -> unit
+(** Register an upstream peer (default address derived from the ASN).
+    Duplicates raise [Invalid_argument]. *)
+
+val peers : t -> peer list
+val peer_asns : t -> Asn.t list
+val n_peers : t -> int
+
+val connect_client :
+  t -> experiment:Experiment.t -> ?callbacks:client_callbacks -> string -> unit
+(** Attach a client by id. Current peer-learned routes are replayed to
+    it immediately. *)
+
+val disconnect_client : t -> string -> unit
+(** Withdraw everything the client announced and drop it. *)
+
+val clients : t -> string list
+val n_clients : t -> int
+
+val announce :
+  t ->
+  client:string ->
+  ?peers:Asn.t list ->
+  ?path_suffix:Asn.t list ->
+  Prefix.t ->
+  (unit, Safety.reason) result
+(** Announce a prefix on behalf of the client. [peers] restricts which
+    upstream peers hear it (default: all); [path_suffix] carries
+    prepending/poisoning/emulated-domain ASNs (private ASNs are
+    stripped before export). Everything passes through {!Safety}. *)
+
+val withdraw : t -> client:string -> Prefix.t -> unit
+
+val announced_prefixes : t -> client:string -> Prefix.t list
+
+val learn_route : t -> peer:Asn.t -> path:Asn.t list -> Prefix.t -> unit
+(** The testbed feeds routes the server hears from an upstream peer;
+    they are relayed (per-peer, unselected) to every client. *)
+
+val withdraw_learned : t -> peer:Asn.t -> Prefix.t -> unit
+
+val learned_route_count : t -> int
+val routes_from_peer : t -> Asn.t -> int
+
+type session_stats = {
+  mode : mux_mode;
+  n_peers : int;
+  n_clients : int;
+  peer_sessions : int;  (** server <-> upstream sessions *)
+  client_sessions : int;  (** server <-> client sessions *)
+  total_sessions : int;
+  est_memory_bytes : int;  (** session state, modelled *)
+  keepalives_per_hour : int;
+}
+
+val session_stats : t -> session_stats
+(** The A2 ablation's measurement: session counts and their cost under
+    the current {!mux_mode}. *)

@@ -1,0 +1,1 @@
+lib/dataplane/fib.ml: Ipv4 Option Peering_net Prefix Prefix_trie

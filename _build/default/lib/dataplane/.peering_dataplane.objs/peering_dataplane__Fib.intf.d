@@ -1,0 +1,1 @@
+lib/dataplane/fib.mli: Ipv4 Peering_net Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/filter.ml: Float List Packet Peering_net Peering_sim Prefix

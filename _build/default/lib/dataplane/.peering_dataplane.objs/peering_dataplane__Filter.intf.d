@@ -1,0 +1,1 @@
+lib/dataplane/filter.mli: Packet Peering_net Peering_sim Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/forwarder.ml: Fib Hashtbl Ipv4 Option Packet Peering_net Peering_sim Prefix Printf

@@ -1,0 +1,1 @@
+lib/dataplane/forwarder.mli: Fib Ipv4 Packet Peering_net Peering_sim Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/packet.ml: Format Ipv4 Peering_net Printf

@@ -1,0 +1,1 @@
+lib/dataplane/packet_program.ml: Filter Forwarder Ipv4 List Packet Peering_net Peering_sim Prefix

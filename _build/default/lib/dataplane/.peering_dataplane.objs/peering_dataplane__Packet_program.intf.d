@@ -1,0 +1,1 @@
+lib/dataplane/packet_program.mli: Forwarder Ipv4 Packet Peering_net Peering_sim Prefix

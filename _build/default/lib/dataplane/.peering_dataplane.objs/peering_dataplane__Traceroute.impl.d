@@ -1,0 +1,1 @@
+lib/dataplane/traceroute.ml: Fib Format Forwarder Ipv4 List Packet Peering_net Peering_sim Prefix

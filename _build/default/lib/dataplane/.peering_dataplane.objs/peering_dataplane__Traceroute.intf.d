@@ -1,0 +1,1 @@
+lib/dataplane/traceroute.mli: Format Forwarder Ipv4 Peering_net Peering_sim

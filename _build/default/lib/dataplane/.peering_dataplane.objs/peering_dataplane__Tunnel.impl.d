@@ -1,0 +1,1 @@
+lib/dataplane/tunnel.ml: Fib Forwarder Ipv4 Packet Peering_net Peering_sim Prefix Printf

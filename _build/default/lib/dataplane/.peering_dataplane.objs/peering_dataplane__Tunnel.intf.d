@@ -1,0 +1,1 @@
+lib/dataplane/tunnel.mli: Forwarder Packet Peering_net Peering_sim Prefix

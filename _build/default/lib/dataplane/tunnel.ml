@@ -1,0 +1,70 @@
+open Peering_net
+module Engine = Peering_sim.Engine
+
+type t = {
+  fwd : Forwarder.t;
+  engine : Engine.t;
+  latency : float;
+  a : Forwarder.node_id;
+  b : Forwarder.node_id;
+  via_a : Forwarder.node_id;  (* virtual node: entrance at [a] *)
+  via_b : Forwarder.node_id;
+  mutable up : bool;
+  mutable bytes : int;
+  mutable packets : int;
+}
+
+let counter = ref 0
+
+let establish fwd engine ?(latency = 0.02) ~a ~b () =
+  incr counter;
+  let tag = Printf.sprintf "tun%d" !counter in
+  let via_a = Printf.sprintf "%s@%s" tag a in
+  let via_b = Printf.sprintf "%s@%s" tag b in
+  let t =
+    { fwd; engine; latency; a; b; via_a; via_b; up = true; bytes = 0;
+      packets = 0 }
+  in
+  (* The virtual entrance nodes deliver everything locally, then we
+     re-inject at the far end. *)
+  let make_entrance entrance far =
+    Forwarder.add_node fwd entrance;
+    Forwarder.set_route fwd entrance (Prefix.make (Ipv4.of_int 0) 0) Fib.Local;
+    Forwarder.on_deliver fwd entrance (fun pkt ->
+        if t.up then begin
+          t.bytes <- t.bytes + pkt.Packet.size;
+          t.packets <- t.packets + 1;
+          Engine.schedule engine ~delay:t.latency (fun () ->
+              Forwarder.inject fwd ~at:far pkt)
+        end)
+  in
+  make_entrance via_a b;
+  make_entrance via_b a;
+  t
+
+let a t = t.a
+let b t = t.b
+
+let send t ~from pkt =
+  if not t.up then invalid_arg "Tunnel.send: tunnel is down";
+  let entrance =
+    if from = t.a then t.via_a
+    else if from = t.b then t.via_b
+    else invalid_arg "Tunnel.send: not an endpoint"
+  in
+  Forwarder.inject t.fwd ~at:entrance pkt
+
+let route_via t ~at prefix =
+  let entrance =
+    if at = t.a then t.via_a
+    else if at = t.b then t.via_b
+    else invalid_arg "Tunnel.route_via: not an endpoint"
+  in
+  Forwarder.set_route t.fwd at prefix (Fib.Via entrance);
+  (* Tunnel entry is instantaneous (same host). *)
+  Forwarder.set_link_latency t.fwd at entrance 0.0
+
+let tear_down t = t.up <- false
+let is_up t = t.up
+let bytes_carried t = t.bytes
+let packets_carried t = t.packets

@@ -1,0 +1,42 @@
+(** OpenVPN-style tunnels.
+
+    PEERING servers forward traffic to and from clients through
+    tunnels (paper §3, "Controlling traffic"). A tunnel joins two
+    forwarder nodes across arbitrary topology distance, with its own
+    latency and byte accounting; packets entering one end pop out at
+    the other without consuming TTL (encapsulation). *)
+
+open Peering_net
+
+type t
+
+val establish :
+  Forwarder.t ->
+  Peering_sim.Engine.t ->
+  ?latency:float ->
+  a:Forwarder.node_id ->
+  b:Forwarder.node_id ->
+  unit ->
+  t
+(** Create a tunnel between nodes [a] and [b] (default latency
+    0.02 s). Use {!route_via} to steer prefixes into it. *)
+
+val a : t -> Forwarder.node_id
+val b : t -> Forwarder.node_id
+
+val send : t -> from:Forwarder.node_id -> Packet.t -> unit
+(** Encapsulate a packet at one end; it is re-processed by the
+    forwarder at the far end after the tunnel latency. Raises
+    [Invalid_argument] if [from] is neither endpoint, or the tunnel is
+    down. *)
+
+val route_via : t -> at:Forwarder.node_id -> Prefix.t -> unit
+(** Install a FIB entry at endpoint [at] that sends the prefix into
+    the tunnel. (Implemented with a per-tunnel virtual node, so the
+    forwarding path stays uniform.) *)
+
+val tear_down : t -> unit
+
+val is_up : t -> bool
+val bytes_carried : t -> int
+val packets_carried : t -> int

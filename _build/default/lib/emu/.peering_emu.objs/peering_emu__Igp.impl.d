@@ -1,0 +1,1 @@
+lib/emu/igp.ml: Hashtbl Int List Map Option Set String

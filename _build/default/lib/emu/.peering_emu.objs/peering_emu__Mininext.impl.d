@@ -1,0 +1,1 @@
+lib/emu/mininext.ml: Array Asn Attrs Country Fib Forwarder Igp Ipv4 List Memory Peering_bgp Peering_dataplane Peering_net Peering_router Peering_sim Peering_topo Policy Prefix Printf Rib Route Router

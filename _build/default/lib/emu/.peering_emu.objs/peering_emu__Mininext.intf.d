@@ -1,0 +1,1 @@
+lib/emu/mininext.mli: Asn Country Forwarder Igp Ipv4 Peering_dataplane Peering_net Peering_router Peering_sim Peering_topo Prefix Router

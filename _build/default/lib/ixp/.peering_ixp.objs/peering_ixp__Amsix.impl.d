@@ -1,0 +1,1 @@
+lib/ixp/amsix.ml: Array Asn Country Fabric Hashtbl List Peering_net Peering_policy Peering_sim Peering_topo

@@ -1,0 +1,1 @@
+lib/ixp/amsix.mli: Asn Country Fabric Peering_net Peering_sim Peering_topo

@@ -1,0 +1,1 @@
+lib/ixp/fabric.ml: Asn Country List Peering_net Peering_policy Peering_sim Route_server

@@ -1,0 +1,1 @@
+lib/ixp/fabric.mli: Asn Country Peering_net Peering_policy Peering_sim Route_server

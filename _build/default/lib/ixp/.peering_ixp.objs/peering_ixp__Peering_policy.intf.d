@@ -1,0 +1,1 @@
+lib/ixp/peering_policy.mli: Format

@@ -1,0 +1,1 @@
+lib/ixp/route_server.ml: Asn Attrs Community Hashtbl Int List Map Peering_bgp Peering_net Prefix Route

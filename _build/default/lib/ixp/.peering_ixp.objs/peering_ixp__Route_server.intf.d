@@ -1,0 +1,1 @@
+lib/ixp/route_server.mli: Asn Peering_bgp Peering_net Prefix Route

@@ -1,0 +1,122 @@
+open Peering_net
+open Peering_bgp
+
+module Imap = Map.Make (Int)
+
+type t = {
+  asn : Asn.t;
+  mutable connected : Asn.Set.t;
+  (* member -> prefix -> (origin member, route): what each member has
+     been sent and still holds *)
+  delivered : (int, Route.t Prefix.Map.t ref) Hashtbl.t;
+  (* origin member -> its announced routes *)
+  announced : (int, Route.t Prefix.Map.t ref) Hashtbl.t;
+}
+
+let create ?(asn = Asn.of_int 6777) () =
+  { asn;
+    connected = Asn.Set.empty;
+    delivered = Hashtbl.create 64;
+    announced = Hashtbl.create 64
+  }
+
+let asn t = t.asn
+
+let table tbl key =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r
+  | None ->
+    let r = ref Prefix.Map.empty in
+    Hashtbl.replace tbl key r;
+    r
+
+let connect t m = t.connected <- Asn.Set.add m t.connected
+
+let members t = Asn.Set.elements t.connected
+let n_members t = Asn.Set.cardinal t.connected
+
+(* Does the announcing member's community set allow export to [target]? *)
+let allows_export t (r : Route.t) target =
+  let cs = r.attrs.Attrs.communities in
+  let tgt = Asn.to_int target land 0xFFFF in
+  let blocked_all = Community.mem (Community.make 0 0) cs in
+  let blocked = Community.mem (Community.make 0 tgt) cs in
+  let whitelisted =
+    Community.mem (Community.make (Asn.to_int t.asn land 0xFFFF) tgt) cs
+  in
+  if blocked then false
+  else if blocked_all then whitelisted
+  else true
+
+let scrub t (r : Route.t) =
+  let rs_asn = Asn.to_int t.asn land 0xFFFF in
+  let keep c = Community.asn_part c <> 0 && Community.asn_part c <> rs_asn in
+  let attrs =
+    Attrs.with_communities
+      (List.filter keep r.attrs.Attrs.communities)
+      r.attrs
+  in
+  { r with Route.attrs }
+
+let announce t ~from (route : Route.t) =
+  if not (Asn.Set.mem from t.connected) then
+    invalid_arg "Route_server.announce: member not connected";
+  let ann = table t.announced (Asn.to_int from) in
+  ann := Prefix.Map.add route.Route.prefix route !ann;
+  let deliveries = ref [] in
+  Asn.Set.iter
+    (fun m ->
+      if not (Asn.equal m from) then
+        if allows_export t route m then begin
+          let out = scrub t route in
+          let d = table t.delivered (Asn.to_int m) in
+          d := Prefix.Map.add out.Route.prefix out !d;
+          deliveries := (m, out) :: !deliveries
+        end)
+    t.connected;
+  List.rev !deliveries
+
+let withdraw t ~from prefix =
+  if not (Asn.Set.mem from t.connected) then
+    invalid_arg "Route_server.withdraw: member not connected";
+  let ann = table t.announced (Asn.to_int from) in
+  match Prefix.Map.find_opt prefix !ann with
+  | None -> []
+  | Some _route ->
+    ann := Prefix.Map.remove prefix !ann;
+    let withdrawals = ref [] in
+    Asn.Set.iter
+      (fun m ->
+        if not (Asn.equal m from) then begin
+          let d = table t.delivered (Asn.to_int m) in
+          if Prefix.Map.mem prefix !d then begin
+            d := Prefix.Map.remove prefix !d;
+            withdrawals := (m, prefix) :: !withdrawals
+          end
+        end)
+      t.connected;
+    List.rev !withdrawals
+
+let disconnect t m =
+  if not (Asn.Set.mem m t.connected) then []
+  else begin
+    let ann = table t.announced (Asn.to_int m) in
+    let prefixes = List.map fst (Prefix.Map.bindings !ann) in
+    let all =
+      List.concat_map (fun p -> withdraw t ~from:m p) prefixes
+    in
+    t.connected <- Asn.Set.remove m t.connected;
+    Hashtbl.remove t.announced (Asn.to_int m);
+    Hashtbl.remove t.delivered (Asn.to_int m);
+    all
+  end
+
+let routes_for t m =
+  match Hashtbl.find_opt t.delivered (Asn.to_int m) with
+  | None -> []
+  | Some d -> List.map snd (Prefix.Map.bindings !d)
+
+let route_count t =
+  Hashtbl.fold
+    (fun _ d acc -> acc + Prefix.Map.cardinal !d)
+    t.delivered 0

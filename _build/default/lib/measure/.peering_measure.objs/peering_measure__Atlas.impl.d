@@ -1,0 +1,1 @@
+lib/measure/atlas.ml: Array Asn Country List Peering_net Peering_sim Peering_topo Stats

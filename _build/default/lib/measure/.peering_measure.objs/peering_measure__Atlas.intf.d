@@ -1,0 +1,1 @@
+lib/measure/atlas.mli: Asn Country Peering_net Peering_sim Peering_topo

@@ -1,0 +1,1 @@
+lib/measure/collector.ml: Asn List Peering_net Prefix

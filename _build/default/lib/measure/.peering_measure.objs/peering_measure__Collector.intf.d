@@ -1,0 +1,1 @@
+lib/measure/collector.mli: Asn Peering_net Prefix

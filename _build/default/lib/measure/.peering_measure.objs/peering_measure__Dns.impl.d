@@ -1,0 +1,1 @@
+lib/measure/dns.ml: Hashtbl Ipv4 List Peering_net String

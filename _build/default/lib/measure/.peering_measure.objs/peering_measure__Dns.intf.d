@@ -1,0 +1,1 @@
+lib/measure/dns.mli: Ipv4 Peering_net

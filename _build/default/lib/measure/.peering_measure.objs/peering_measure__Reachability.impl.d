@@ -1,0 +1,1 @@
+lib/measure/reachability.ml: Asn Country Float Int List Peering_net Peering_sim Peering_topo Prefix Prefix_trie

@@ -1,0 +1,1 @@
+lib/measure/reachability.mli: Asn Country Ipv4 Peering_net Peering_topo Prefix

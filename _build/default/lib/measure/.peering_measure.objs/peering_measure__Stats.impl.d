@@ -1,0 +1,1 @@
+lib/measure/stats.ml: Array Float List Printf

@@ -1,0 +1,1 @@
+lib/measure/webworkload.ml: Array Asn Dns Hashtbl Ipv4 List Peering_net Peering_sim Peering_topo Prefix Printf String

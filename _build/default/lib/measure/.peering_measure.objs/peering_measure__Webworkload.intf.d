@@ -1,0 +1,1 @@
+lib/measure/webworkload.mli: Asn Dns Hashtbl Ipv4 Peering_net Peering_sim Peering_topo

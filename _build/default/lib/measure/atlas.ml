@@ -1,0 +1,60 @@
+open Peering_net
+module Rng = Peering_sim.Rng
+module Gen = Peering_topo.Gen
+module As_graph = Peering_topo.As_graph
+
+type probe = {
+  probe_id : int;
+  host_asn : Asn.t;
+  country : Country.t;
+}
+
+type t = { probe_list : probe list }
+
+let per_hop_rtt_ms = 15.0
+
+let deploy ~rng ~(world : Gen.world) ~n =
+  let stubs = Array.of_list world.Gen.stubs in
+  Rng.shuffle rng stubs;
+  let n = min n (Array.length stubs) in
+  let probe_list =
+    List.init n (fun i ->
+        let host_asn = stubs.(i) in
+        { probe_id = i + 1;
+          host_asn;
+          country = (As_graph.node_exn world.Gen.graph host_asn).As_graph.country
+        })
+  in
+  { probe_list }
+
+let probes t = t.probe_list
+let n_probes t = List.length t.probe_list
+
+let countries t =
+  List.fold_left
+    (fun acc p -> Country.Set.add p.country acc)
+    Country.Set.empty t.probe_list
+
+let ping t ~path_of =
+  List.map
+    (fun p ->
+      match path_of p.host_asn with
+      | Some path ->
+        (* path includes the probe's own AS; hops = length - 1 *)
+        let hops = max 1 (List.length path - 1) in
+        (p, Some (float_of_int hops *. per_hop_rtt_ms))
+      | None -> (p, None))
+    t.probe_list
+
+let traceroute _t ~path_of probe = path_of probe.host_asn
+
+let reachability t ~path_of =
+  let up =
+    List.length
+      (List.filter (fun p -> path_of p.host_asn <> None) t.probe_list)
+  in
+  float_of_int up /. float_of_int (max 1 (n_probes t))
+
+let rtt_summary t ~path_of =
+  let rtts = List.filter_map snd (ping t ~path_of) in
+  Stats.summary rtts

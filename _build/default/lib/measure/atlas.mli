@@ -1,0 +1,50 @@
+(** A RIPE-Atlas-style end-host measurement platform (one of Table 1's
+    comparators): probes hosted in edge networks that can ping and
+    traceroute but run no experiment code and control no routing.
+
+    The platform is decoupled from the testbed through a path oracle
+    (any [Asn.t -> Asn.t list option] — e.g.
+    [Peering_core.Testbed.path_from] partially applied), so it also
+    works against raw propagation results. RTT is modelled from
+    AS-level hop count. *)
+
+open Peering_net
+
+type probe = {
+  probe_id : int;
+  host_asn : Asn.t;
+  country : Country.t;
+}
+
+type t
+
+val deploy :
+  rng:Peering_sim.Rng.t -> world:Peering_topo.Gen.world -> n:int -> t
+(** Place [n] probes in distinct random stub ASes (fewer if the world
+    has fewer stubs). *)
+
+val probes : t -> probe list
+val n_probes : t -> int
+
+val countries : t -> Country.Set.t
+(** Probe-host country footprint. *)
+
+val per_hop_rtt_ms : float
+(** Modelled per-AS-hop round-trip contribution (15 ms). *)
+
+val ping :
+  t -> path_of:(Asn.t -> Asn.t list option) -> (probe * float option) list
+(** One RTT sample per probe toward whatever destination the oracle
+    encodes; [None] = unreachable. *)
+
+val traceroute :
+  t -> path_of:(Asn.t -> Asn.t list option) -> probe -> Asn.t list option
+(** The AS-level forward path from a probe. *)
+
+val reachability :
+  t -> path_of:(Asn.t -> Asn.t list option) -> float
+(** Fraction of probes with a path. *)
+
+val rtt_summary :
+  t -> path_of:(Asn.t -> Asn.t list option) -> string
+(** {!Stats.summary} over the reachable probes' RTTs. *)

@@ -1,0 +1,40 @@
+open Peering_net
+
+type kind = Announce | Withdraw
+
+type entry = {
+  time : float;
+  peer : Asn.t;
+  prefix : Prefix.t;
+  path : Asn.t list;
+  kind : kind;
+}
+
+type t = { mutable log : entry list (* newest first *) }
+
+let create () = { log = [] }
+
+let record t ~time ~peer ~prefix ~path kind =
+  t.log <- { time; peer; prefix; path; kind } :: t.log
+
+let entries t = List.rev t.log
+
+let for_prefix t prefix =
+  List.filter (fun e -> Prefix.equal e.prefix prefix) (entries t)
+
+let churn t prefix = List.length (for_prefix t prefix)
+
+let last_path t prefix =
+  let rec find = function
+    | [] -> None
+    | e :: rest ->
+      if Prefix.equal e.prefix prefix then
+        match e.kind with
+        | Announce -> Some e.path
+        | Withdraw -> None
+      else find rest
+  in
+  find t.log
+
+let n_entries t = List.length t.log
+let clear t = t.log <- []

@@ -1,0 +1,42 @@
+(** A route collector in the RouteViews/RIPE-RIS mould: a passive
+    archive of control-plane events, queryable by prefix and peer.
+
+    PEERING "automatically collect[s] regular control and data plane
+    measurements towards PEERING prefixes" (§3); the testbed records
+    every announcement its servers see into one of these. *)
+
+open Peering_net
+
+type kind = Announce | Withdraw
+
+type entry = {
+  time : float;
+  peer : Asn.t;  (** AS the event was heard from *)
+  prefix : Prefix.t;
+  path : Asn.t list;  (** empty for withdrawals *)
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> time:float -> peer:Asn.t -> prefix:Prefix.t -> path:Asn.t list ->
+  kind -> unit
+
+val entries : t -> entry list
+(** All events, oldest first. *)
+
+val for_prefix : t -> Prefix.t -> entry list
+
+val churn : t -> Prefix.t -> int
+(** Number of events (announcements + withdrawals) for the prefix —
+    the dampening ablation's measurement. *)
+
+val last_path : t -> Prefix.t -> Asn.t list option
+(** Path of the most recent announcement not followed by a
+    withdrawal, if any. *)
+
+val n_entries : t -> int
+val clear : t -> unit

@@ -1,0 +1,146 @@
+open Peering_net
+module Rng = Peering_sim.Rng
+module Gen = Peering_topo.Gen
+module As_graph = Peering_topo.As_graph
+
+type site = {
+  rank : int;
+  fqdn : string;
+  addr : Ipv4.t;
+  resources : string list;
+}
+
+type t = {
+  sites : site list;
+  dns : Dns.t;
+  hosted_by : (string, Asn.t) Hashtbl.t;
+}
+
+type params = {
+  n_sites : int;
+  mean_resources : float;
+  n_resource_fqdns : int;
+  cdn_share : float;
+  site_cdn_share : float;
+}
+
+let default_params =
+  { n_sites = 500;
+    mean_resources = 99.5;
+    n_resource_fqdns = 4_200;
+    cdn_share = 0.5;
+    site_cdn_share = 0.18
+  }
+
+(* Pick a host address: an AS of the wanted kind, one of its prefixes,
+   a host inside it. Content ASes are picked Zipf-style so a few CDNs
+   dominate, mirroring real traffic concentration. *)
+let pick_host rng (world : Gen.world) ~prefer_cdn =
+  let graph = world.Gen.graph in
+  let from_pool pool_arr zipf =
+    let n = Array.length pool_arr in
+    let idx = if zipf then Rng.zipf rng ~n ~s:1.0 - 1 else Rng.int rng n in
+    pool_arr.(idx)
+  in
+  let content_arr = Array.of_list world.Gen.content in
+  let other_arr =
+    Array.of_list (world.Gen.stubs @ world.Gen.small_transit)
+  in
+  let asn =
+    if prefer_cdn && Array.length content_arr > 0 then
+      from_pool content_arr true
+    else from_pool other_arr false
+  in
+  match As_graph.prefixes_of graph asn with
+  | [] -> None
+  | prefixes ->
+    let parr = Array.of_list prefixes in
+    let p = parr.(Rng.int rng (Array.length parr)) in
+    let host_offset = 1 + Rng.int rng (max 1 (Prefix.size p - 2)) in
+    Some (asn, Ipv4.add (Prefix.addr p) host_offset)
+
+let generate ?(params = default_params) ~rng (world : Gen.world) =
+  let dns = Dns.create () in
+  let hosted_by = Hashtbl.create 1024 in
+  (* CDN frontends serve many names from one address: FQDNs landing on
+     the same hosting AS reuse one of its existing server addresses
+     with some probability, so distinct IPs < distinct FQDNs (the paper
+     saw 2,757 IPs for 4,182 FQDNs). *)
+  let server_cache : (int, Ipv4.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let host_address asn fresh_addr =
+    let cache =
+      match Hashtbl.find_opt server_cache (Asn.to_int asn) with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.replace server_cache (Asn.to_int asn) c;
+        c
+    in
+    match !cache with
+    | existing :: _ when Rng.bernoulli rng 0.75 ->
+      let arr = Array.of_list !cache in
+      ignore existing;
+      Rng.choice rng arr
+    | _ ->
+      cache := fresh_addr :: !cache;
+      fresh_addr
+  in
+  (* Resource FQDN pool: pre-assign each a hosting AS and address. *)
+  let pool =
+    Array.init params.n_resource_fqdns (fun i ->
+        let fqdn = Printf.sprintf "r%d.cdn-host.example" i in
+        let prefer_cdn = Rng.bernoulli rng params.cdn_share in
+        match pick_host rng world ~prefer_cdn with
+        | Some (asn, addr) ->
+          let addr = host_address asn addr in
+          Dns.add_a dns fqdn addr;
+          Hashtbl.replace hosted_by fqdn asn;
+          fqdn
+        | None -> fqdn)
+  in
+  (* Zipf sampler over the pool: popular CDNs host many resources. *)
+  let sample_fqdn = Rng.zipf_sampler ~n:params.n_resource_fqdns ~s:0.9 in
+  let sites =
+    List.init params.n_sites (fun i ->
+        let rank = i + 1 in
+        let fqdn = Printf.sprintf "site%d.example" rank in
+        let prefer_cdn = Rng.bernoulli rng params.site_cdn_share in
+        let asn, addr =
+          match pick_host rng world ~prefer_cdn with
+          | Some x -> x
+          | None -> (List.hd world.Gen.tier1, Ipv4.of_octets 192 0 2 1)
+        in
+        Dns.add_a dns fqdn addr;
+        Hashtbl.replace hosted_by fqdn asn;
+        (* Resource count: exponential around the mean, at least 5. *)
+        let n_res =
+          max 5 (int_of_float (Rng.exponential rng ~mean:params.mean_resources))
+        in
+        let resources =
+          List.init n_res (fun _ -> pool.(sample_fqdn rng - 1))
+        in
+        { rank; fqdn; addr; resources })
+  in
+  { sites; dns; hosted_by }
+
+let total_resources t =
+  List.fold_left (fun acc s -> acc + List.length s.resources) 0 t.sites
+
+let distinct_resource_fqdns t =
+  let set = Hashtbl.create 1024 in
+  List.iter
+    (fun s -> List.iter (fun r -> Hashtbl.replace set r ()) s.resources)
+    t.sites;
+  Hashtbl.fold (fun k () acc -> k :: acc) set [] |> List.sort String.compare
+
+let distinct_resource_addrs t =
+  let set = Hashtbl.create 1024 in
+  List.iter
+    (fun fqdn ->
+      List.iter
+        (fun a -> Hashtbl.replace set (Ipv4.to_int a) a)
+        (Dns.resolve t.dns fqdn))
+    (distinct_resource_fqdns t);
+  Hashtbl.fold (fun _ a acc -> a :: acc) set [] |> List.sort Ipv4.compare
+
+let hosting_asn t fqdn = Hashtbl.find_opt t.hosted_by fqdn

@@ -1,0 +1,1 @@
+lib/net/asn.ml: Format Int Map Printf Set

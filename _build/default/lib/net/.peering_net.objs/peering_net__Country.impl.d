@@ -1,0 +1,1 @@
+lib/net/country.ml: Format Printf Set String

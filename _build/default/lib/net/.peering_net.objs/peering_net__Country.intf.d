@@ -1,0 +1,1 @@
+lib/net/country.mli: Format Set

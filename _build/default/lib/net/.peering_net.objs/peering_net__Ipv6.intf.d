@@ -1,0 +1,1 @@
+lib/net/ipv6.mli: Format

@@ -1,0 +1,1 @@
+lib/net/prefix6.ml: Format Int Int64 Ipv6 Option Printf Set String

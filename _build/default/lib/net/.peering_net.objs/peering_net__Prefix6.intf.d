@@ -1,0 +1,1 @@
+lib/net/prefix6.mli: Format Ipv6 Set

@@ -1,0 +1,1 @@
+lib/net/prefix_pool.ml: List Prefix

@@ -1,0 +1,29 @@
+type t = int
+
+let max_asn = 0xFFFFFFFF
+
+let of_int n =
+  if n < 0 || n > max_asn then invalid_arg "Asn.of_int: out of range";
+  n
+
+let to_int a = a
+
+let is_private a =
+  (a >= 64512 && a <= 65534) || (a >= 4200000000 && a <= 4294967294)
+
+let is_reserved a = a = 0 || a = 23456 || a = 65535 || a = max_asn
+
+let compare = Int.compare
+let equal = Int.equal
+let hash a = a
+let to_string a = Printf.sprintf "AS%d" a
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

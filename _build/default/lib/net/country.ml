@@ -1,0 +1,35 @@
+type t = string
+
+let of_string s =
+  if String.length s = 2
+     && String.for_all
+          (fun c -> (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+          s
+  then Some (String.uppercase_ascii s)
+  else None
+
+let of_string_exn s =
+  match of_string s with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Country.of_string_exn: %S" s)
+
+let to_string c = c
+let nl = "NL"
+
+let pool =
+  [| "NL"; "DE"; "GB"; "US"; "FR"; "BE"; "SE"; "CH"; "RU"; "UA";
+     "PL"; "CZ"; "AT"; "IT"; "ES"; "PT"; "DK"; "NO"; "FI"; "IE";
+     "RO"; "BG"; "HU"; "SK"; "SI"; "HR"; "RS"; "GR"; "TR"; "IL";
+     "AE"; "SA"; "IN"; "PK"; "BD"; "LK"; "SG"; "MY"; "TH"; "VN";
+     "ID"; "PH"; "HK"; "TW"; "JP"; "KR"; "CN"; "AU"; "NZ"; "ZA";
+     "EG"; "NG"; "KE"; "GH"; "TZ"; "MA"; "TN"; "AO"; "MU"; "BR";
+     "AR"; "CL"; "CO"; "PE"; "VE"; "EC"; "UY"; "PY"; "BO"; "MX";
+     "CA"; "PA"; "CR"; "GT"; "DO"; "JM"; "TT"; "IS"; "EE"; "LV";
+     "LT"; "LU"; "MT"; "CY"; "MD"; "GE"; "AM"; "AZ"; "KZ"; "UZ";
+     "MN"; "NP"; "KH"; "LA"; "MM"; "BN" |]
+
+let compare = String.compare
+let equal = String.equal
+let pp ppf c = Format.pp_print_string ppf c
+
+module Set = Set.Make (String)

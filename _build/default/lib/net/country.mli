@@ -1,0 +1,24 @@
+(** Country codes, used to reproduce the paper's "peers based in 59
+    countries" statistic (§4.1). *)
+
+type t = private string
+(** An ISO 3166-1 alpha-2 code, uppercase. *)
+
+val of_string : string -> t option
+(** Accepts any two-letter code (case-insensitive); [None] otherwise. *)
+
+val of_string_exn : string -> t
+val to_string : t -> string
+
+val nl : t
+(** The Netherlands — AMS-IX's home, the modal peer country. *)
+
+val pool : t array
+(** A fixed pool of 96 distinct country codes used by the synthetic
+    IXP-member generator. Index 0 is [nl]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t

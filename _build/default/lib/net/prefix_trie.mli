@@ -1,0 +1,49 @@
+(** Patricia trie keyed by IPv4 prefixes, supporting exact lookup and
+    longest-prefix match.
+
+    This is the substrate for both BGP RIBs and dataplane FIBs. The
+    trie is immutable; updates return new tries sharing structure. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val add : Prefix.t -> 'a -> 'a t -> 'a t
+(** [add p v t] binds [p] to [v], replacing any previous binding. *)
+
+val remove : Prefix.t -> 'a t -> 'a t
+
+val find : Prefix.t -> 'a t -> 'a option
+(** Exact-match lookup. *)
+
+val update : Prefix.t -> ('a option -> 'a option) -> 'a t -> 'a t
+(** [update p f t] adjusts the binding at [p] through [f]; [f None]
+    inserting, [f (Some v)] replacing or ([None]) deleting. *)
+
+val longest_match : Ipv4.t -> 'a t -> (Prefix.t * 'a) option
+(** [longest_match a t] is the most specific prefix in [t] containing
+    address [a], with its value. *)
+
+val matches : Ipv4.t -> 'a t -> (Prefix.t * 'a) list
+(** All prefixes containing [a], most specific first. *)
+
+val covered : Prefix.t -> 'a t -> (Prefix.t * 'a) list
+(** [covered p t] lists bindings whose prefix is contained in [p]
+    (equal or more specific), in address order. *)
+
+val cardinal : 'a t -> int
+val mem : Prefix.t -> 'a t -> bool
+
+val fold : (Prefix.t -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** In-order fold over all bindings. *)
+
+val iter : (Prefix.t -> 'a -> unit) -> 'a t -> unit
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val filter : (Prefix.t -> 'a -> bool) -> 'a t -> 'a t
+
+val to_list : 'a t -> (Prefix.t * 'a) list
+(** Bindings in address order. *)
+
+val of_list : (Prefix.t * 'a) list -> 'a t

@@ -1,0 +1,1 @@
+lib/router/config.ml: Asn Community Hashtbl Int Ipv4 List Option Peering_bgp Peering_net Policy Prefix Printf Router String

@@ -1,0 +1,1 @@
+lib/router/config.mli: Asn Ipv4 Peering_bgp Peering_net Peering_sim Policy Prefix Router

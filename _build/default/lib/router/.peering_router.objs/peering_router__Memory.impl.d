@@ -1,0 +1,1 @@
+lib/router/memory.ml: As_path Asn Attrs Ipv4 Obj Peering_bgp Peering_net Prefix Rib Route Sys

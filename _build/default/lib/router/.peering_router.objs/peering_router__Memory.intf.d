@@ -1,0 +1,1 @@
+lib/router/memory.mli: Peering_bgp Rib

@@ -1,0 +1,1 @@
+lib/router/router.ml: As_path Asn Attrs Community Fsm Ipv4 List Message Option Peering_bgp Peering_net Peering_sim Policy Prefix Rib Route Session Update_group Wire

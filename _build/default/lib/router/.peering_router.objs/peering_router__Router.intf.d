@@ -1,0 +1,1 @@
+lib/router/router.mli: Asn Community Ipv4 Peering_bgp Peering_net Peering_sim Policy Prefix Rib Route Session

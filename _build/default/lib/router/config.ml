@@ -1,0 +1,373 @@
+open Peering_net
+open Peering_bgp
+
+type neighbor_config = {
+  addr : Ipv4.t;
+  remote_as : Asn.t;
+  route_map_in : string option;
+  route_map_out : string option;
+}
+
+type bgp_config = {
+  asn : Asn.t;
+  router_id : Ipv4.t option;
+  networks : Prefix.t list;
+  neighbors : neighbor_config list;
+}
+
+type prefix_rule = {
+  pl_seq : int;
+  pl_permit : bool;
+  pl_prefix : Prefix.t;
+  pl_ge : int option;
+  pl_le : int option;
+}
+
+type map_match =
+  | M_prefix_list of string
+  | M_community of Community.t
+  | M_as_path_contains of Asn.t
+
+type map_set =
+  | S_local_pref of int
+  | S_metric of int
+  | S_community of Community.t
+  | S_prepend of Asn.t * int
+  | S_next_hop of Ipv4.t
+
+type map_entry = {
+  rm_seq : int;
+  rm_permit : bool;
+  mutable rm_matches : map_match list;
+  mutable rm_sets : map_set list;
+}
+
+type t = {
+  bgp : bgp_config option;
+  prefix_lists : (string, prefix_rule list) Hashtbl.t;
+  route_maps : (string, map_entry list) Hashtbl.t;
+}
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.filter (fun s -> s <> "")
+
+let parse_prefix line s =
+  match Prefix.of_string s with
+  | Some p -> p
+  | None -> fail line (Printf.sprintf "bad prefix %S" s)
+
+let parse_ip line s =
+  match Ipv4.of_string s with
+  | Some a -> a
+  | None -> fail line (Printf.sprintf "bad address %S" s)
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail line (Printf.sprintf "bad number %S" s)
+
+let parse_asn line s = Asn.of_int (parse_int line s)
+
+let parse_community line s =
+  match Community.of_string s with
+  | Some c -> c
+  | None -> fail line (Printf.sprintf "bad community %S" s)
+
+type context =
+  | Top
+  | In_bgp
+  | In_route_map of string * map_entry
+
+type builder = {
+  mutable ctx : context;
+  mutable b_asn : Asn.t option;
+  mutable b_router_id : Ipv4.t option;
+  mutable b_networks : Prefix.t list;
+  mutable b_neighbors : neighbor_config list;
+  b_prefix_lists : (string, prefix_rule list) Hashtbl.t;
+  b_route_maps : (string, map_entry list) Hashtbl.t;
+}
+
+let update_neighbor b line addr f =
+  let found = ref false in
+  b.b_neighbors <-
+    List.map
+      (fun n ->
+        if Ipv4.equal n.addr addr then begin
+          found := true;
+          f n
+        end
+        else n)
+      b.b_neighbors;
+  if not !found then fail line "neighbor not declared with remote-as"
+
+let handle_bgp_line b lineno toks =
+  match toks with
+  | [ "bgp"; "router-id"; ip ] -> b.b_router_id <- Some (parse_ip lineno ip)
+  | [ "network"; pfx ] ->
+    b.b_networks <- b.b_networks @ [ parse_prefix lineno pfx ]
+  | [ "neighbor"; ip; "remote-as"; asn ] ->
+    let addr = parse_ip lineno ip in
+    if List.exists (fun n -> Ipv4.equal n.addr addr) b.b_neighbors then
+      fail lineno "duplicate neighbor";
+    b.b_neighbors <-
+      b.b_neighbors
+      @ [ { addr;
+            remote_as = parse_asn lineno asn;
+            route_map_in = None;
+            route_map_out = None
+          } ]
+  | [ "neighbor"; ip; "route-map"; name; dir ] ->
+    let addr = parse_ip lineno ip in
+    (match dir with
+    | "in" ->
+      update_neighbor b lineno addr (fun n -> { n with route_map_in = Some name })
+    | "out" ->
+      update_neighbor b lineno addr (fun n -> { n with route_map_out = Some name })
+    | _ -> fail lineno "route-map direction must be in|out")
+  | _ -> fail lineno "unknown statement in router bgp block"
+
+let handle_map_line entry lineno toks =
+  match toks with
+  | [ "match"; "ip"; "address"; "prefix-list"; name ] ->
+    entry.rm_matches <- entry.rm_matches @ [ M_prefix_list name ]
+  | [ "match"; "community"; c ] ->
+    entry.rm_matches <-
+      entry.rm_matches @ [ M_community (parse_community lineno c) ]
+  | [ "match"; "as-path-contains"; a ] ->
+    entry.rm_matches <-
+      entry.rm_matches @ [ M_as_path_contains (parse_asn lineno a) ]
+  | [ "set"; "local-preference"; n ] ->
+    entry.rm_sets <- entry.rm_sets @ [ S_local_pref (parse_int lineno n) ]
+  | [ "set"; "metric"; n ] ->
+    entry.rm_sets <- entry.rm_sets @ [ S_metric (parse_int lineno n) ]
+  | [ "set"; "community"; c ] | [ "set"; "community"; c; "additive" ] ->
+    entry.rm_sets <- entry.rm_sets @ [ S_community (parse_community lineno c) ]
+  | [ "set"; "as-path"; "prepend"; a; n ] ->
+    entry.rm_sets <-
+      entry.rm_sets @ [ S_prepend (parse_asn lineno a, parse_int lineno n) ]
+  | [ "set"; "next-hop"; ip ] ->
+    entry.rm_sets <- entry.rm_sets @ [ S_next_hop (parse_ip lineno ip) ]
+  | _ -> fail lineno "unknown statement in route-map block"
+
+let handle_top_line b lineno toks =
+  match toks with
+  | "router" :: "bgp" :: asn :: [] ->
+    if b.b_asn <> None then fail lineno "second router bgp block";
+    b.b_asn <- Some (parse_asn lineno asn);
+    b.ctx <- In_bgp
+  | "ip" :: "prefix-list" :: name :: "seq" :: seq :: action :: pfx :: rest ->
+    let pl_permit =
+      match action with
+      | "permit" -> true
+      | "deny" -> false
+      | _ -> fail lineno "prefix-list action must be permit|deny"
+    in
+    let rec opts ge le = function
+      | [] -> (ge, le)
+      | "ge" :: n :: rest -> opts (Some (parse_int lineno n)) le rest
+      | "le" :: n :: rest -> opts ge (Some (parse_int lineno n)) rest
+      | _ -> fail lineno "bad prefix-list options"
+    in
+    let pl_ge, pl_le = opts None None rest in
+    let rule =
+      { pl_seq = parse_int lineno seq;
+        pl_permit;
+        pl_prefix = parse_prefix lineno pfx;
+        pl_ge;
+        pl_le
+      }
+    in
+    let existing =
+      Option.value (Hashtbl.find_opt b.b_prefix_lists name) ~default:[]
+    in
+    Hashtbl.replace b.b_prefix_lists name (existing @ [ rule ])
+  | [ "route-map"; name; action; seq ] ->
+    let rm_permit =
+      match action with
+      | "permit" -> true
+      | "deny" -> false
+      | _ -> fail lineno "route-map action must be permit|deny"
+    in
+    let entry =
+      { rm_seq = parse_int lineno seq; rm_permit; rm_matches = []; rm_sets = [] }
+    in
+    let existing =
+      Option.value (Hashtbl.find_opt b.b_route_maps name) ~default:[]
+    in
+    if List.exists (fun e -> e.rm_seq = entry.rm_seq) existing then
+      fail lineno "duplicate route-map sequence";
+    Hashtbl.replace b.b_route_maps name (existing @ [ entry ]);
+    b.ctx <- In_route_map (name, entry)
+  | _ -> fail lineno "unknown top-level statement"
+
+let parse text =
+  let b =
+    { ctx = Top;
+      b_asn = None;
+      b_router_id = None;
+      b_networks = [];
+      b_neighbors = [];
+      b_prefix_lists = Hashtbl.create 8;
+      b_route_maps = Hashtbl.create 8
+    }
+  in
+  try
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt line '#' with
+          | Some j -> String.sub line 0 j
+          | None -> line
+        in
+        let trimmed = String.trim line in
+        if trimmed = "" then ()
+        else if trimmed.[0] = '!' then b.ctx <- Top
+        else
+          let indented =
+            String.length line > 0 && (line.[0] = ' ' || line.[0] = '\t')
+          in
+          let toks = tokens trimmed in
+          match b.ctx with
+          | In_bgp when indented -> handle_bgp_line b lineno toks
+          | In_route_map (_, entry) when indented ->
+            handle_map_line entry lineno toks
+          | Top | In_bgp | In_route_map _ ->
+            b.ctx <- Top;
+            handle_top_line b lineno toks)
+      (String.split_on_char '\n' text);
+    let bgp =
+      Option.map
+        (fun asn ->
+          { asn;
+            router_id = b.b_router_id;
+            networks = b.b_networks;
+            neighbors = b.b_neighbors
+          })
+        b.b_asn
+    in
+    Ok { bgp; prefix_lists = b.b_prefix_lists; route_maps = b.b_route_maps }
+  with Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_exn text =
+  match parse text with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Config.parse_exn: " ^ e)
+
+let bgp t = t.bgp
+
+let route_map_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.route_maps []
+  |> List.sort String.compare
+
+let compile_cond t = function
+  | M_prefix_list name -> (
+    match Hashtbl.find_opt t.prefix_lists name with
+    | None -> Error (Printf.sprintf "undefined prefix-list %s" name)
+    | Some rules ->
+      (* Encode permit rules positively; deny rules as negated Any.
+         Quagga semantics: first matching seq decides. We approximate
+         with: match iff the first matching rule is a permit. For the
+         common all-permit case this is exact. *)
+      let sorted = List.sort (fun a b -> Int.compare a.pl_seq b.pl_seq) rules in
+      let to_triple r =
+        let ge = Option.value r.pl_ge ~default:(Prefix.len r.pl_prefix) in
+        let le = Option.value r.pl_le ~default:(Prefix.len r.pl_prefix) in
+        (r.pl_prefix, ge, le)
+      in
+      let rec build = function
+        | [] -> Policy.Any []
+        | r :: rest ->
+          let here = Policy.Prefix_in [ to_triple r ] in
+          if r.pl_permit then Policy.Any [ here; build rest ]
+          else Policy.All [ Policy.Not here; build rest ]
+      in
+      Ok (build sorted))
+  | M_community c -> Ok (Policy.Has_community c)
+  | M_as_path_contains a -> Ok (Policy.Path_contains a)
+
+let compile_set = function
+  | S_local_pref n -> Policy.Set_local_pref n
+  | S_metric n -> Policy.Set_med (Some n)
+  | S_community c -> Policy.Add_community c
+  | S_prepend (a, n) -> Policy.Prepend (a, n)
+  | S_next_hop ip -> Policy.Set_next_hop ip
+
+let compile_route_map t name =
+  match Hashtbl.find_opt t.route_maps name with
+  | None -> Error (Printf.sprintf "undefined route-map %s" name)
+  | Some entries ->
+    let rec build acc = function
+      | [] -> Ok (Policy.of_entries (List.rev acc))
+      | e :: rest ->
+        let conds =
+          List.fold_left
+            (fun acc m ->
+              match (acc, compile_cond t m) with
+              | Error _, _ -> acc
+              | _, (Error _ as err) -> err
+              | Ok cs, Ok c -> Ok (c :: cs))
+            (Ok []) e.rm_matches
+        in
+        (match conds with
+        | Error err -> Error err
+        | Ok conds ->
+          let entry =
+            { Policy.seq = e.rm_seq;
+              decision = (if e.rm_permit then Policy.Permit else Policy.Deny);
+              conds = List.rev conds;
+              actions = List.map compile_set e.rm_sets
+            }
+          in
+          build (entry :: acc) rest)
+    in
+    build [] entries
+
+let instantiate engine t =
+  match t.bgp with
+  | None -> Error "no router bgp block"
+  | Some conf ->
+    let router_id =
+      Option.value conf.router_id ~default:(Ipv4.of_octets 10 255 255 1)
+    in
+    let r = Router.create engine ~asn:conf.asn ~router_id () in
+    List.iter (fun p -> Router.originate r p) conf.networks;
+    Ok r
+
+let apply_neighbor_policies t router =
+  match t.bgp with
+  | None -> Error "no router bgp block"
+  | Some conf ->
+    let rec go = function
+      | [] -> Ok ()
+      | (n : neighbor_config) :: rest -> (
+        let apply name setter =
+          match compile_route_map t name with
+          | Error e -> Error e
+          | Ok policy ->
+            setter router n.addr policy;
+            Ok ()
+        in
+        let r_in =
+          match n.route_map_in with
+          | Some name -> apply name Router.set_import_policy
+          | None -> Ok ()
+        in
+        match r_in with
+        | Error e -> Error e
+        | Ok () -> (
+          let r_out =
+            match n.route_map_out with
+            | Some name -> apply name Router.set_export_policy
+            | None -> Ok ()
+          in
+          match r_out with Error e -> Error e | Ok () -> go rest))
+    in
+    go conf.neighbors

@@ -1,0 +1,69 @@
+(** A Quagga-flavoured configuration language.
+
+    PEERING ships clients a bgpd configuration; this module parses the
+    dialect we support and instantiates routers from it. Supported
+    statements (one per line, two-space indentation optional, [!] and
+    [#] start comments):
+
+    {v
+router bgp <asn>
+ bgp router-id <ip>
+ network <prefix>
+ neighbor <ip> remote-as <asn>
+ neighbor <ip> route-map <name> in|out
+ip prefix-list <name> seq <n> permit|deny <prefix> [ge <n>] [le <n>]
+route-map <name> permit|deny <seq>
+ match ip address prefix-list <name>
+ match community <asn>:<value>
+ match as-path-contains <asn>
+ set local-preference <n>
+ set metric <n>
+ set community <asn>:<value>
+ set as-path prepend <asn> <count>
+ set next-hop <ip>
+    v} *)
+
+open Peering_net
+open Peering_bgp
+
+type neighbor_config = {
+  addr : Ipv4.t;
+  remote_as : Asn.t;
+  route_map_in : string option;
+  route_map_out : string option;
+}
+
+type bgp_config = {
+  asn : Asn.t;
+  router_id : Ipv4.t option;
+  networks : Prefix.t list;
+  neighbors : neighbor_config list;
+}
+
+type t
+
+val parse : string -> (t, string) result
+(** Parse a configuration text. The error includes a line number. *)
+
+val parse_exn : string -> t
+
+val bgp : t -> bgp_config option
+
+val route_map_names : t -> string list
+
+val compile_route_map : t -> string -> (Policy.t, string) result
+(** Compile the named route-map (resolving prefix-list references)
+    into a {!Peering_bgp.Policy.t}. An undefined route-map or a
+    reference to an undefined prefix-list is an error. *)
+
+val instantiate :
+  Peering_sim.Engine.t -> t -> (Router.t, string) result
+(** Build a router from the [router bgp] block: creates the router and
+    originates its networks. Neighbor sessions are wired separately
+    with {!Router.connect}; the per-neighbor route-maps named in the
+    config are applied to the router after connection with
+    {!apply_neighbor_policies}. *)
+
+val apply_neighbor_policies : t -> Router.t -> (unit, string) result
+(** For each configured neighbor with route-maps, set the compiled
+    import/export policies on the (already connected) router. *)

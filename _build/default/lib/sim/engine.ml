@@ -1,0 +1,48 @@
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Event_queue.t;
+  rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = 0.0; queue = Event_queue.create (); rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time f
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) f
+
+let pending t = Event_queue.length t.queue
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- max t.clock time;
+    f ();
+    true
+
+let run ?until ?max_events t =
+  let budget = ref (Option.value max_events ~default:max_int) in
+  let continue = ref true in
+  while !continue && !budget > 0 do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time -> (
+      match until with
+      | Some horizon when time > horizon -> continue := false
+      | _ ->
+        ignore (step t);
+        decr budget)
+  done
+
+let run_for t d =
+  let horizon = t.clock +. d in
+  run ~until:horizon t;
+  t.clock <- max t.clock horizon

@@ -1,0 +1,54 @@
+type level = Debug | Info | Warn
+
+type event = {
+  time : float;
+  level : level;
+  subsystem : string;
+  message : string;
+}
+
+type t = {
+  capacity : int;
+  buf : event Queue.t;
+  mutable dropped : int;
+}
+
+let create ?(capacity = 100_000) () =
+  { capacity; buf = Queue.create (); dropped = 0 }
+
+let record t ~time ~level ~subsystem message =
+  Queue.push { time; level; subsystem; message } t.buf;
+  if Queue.length t.buf > t.capacity then begin
+    ignore (Queue.pop t.buf);
+    t.dropped <- t.dropped + 1
+  end
+
+let events t = List.of_seq (Queue.to_seq t.buf)
+let count t = Queue.length t.buf
+let dropped t = t.dropped
+
+let find t ?subsystem ?contains () =
+  let matches e =
+    (match subsystem with None -> true | Some s -> String.equal s e.subsystem)
+    &&
+    match contains with
+    | None -> true
+    | Some needle ->
+      let hlen = String.length e.message and nlen = String.length needle in
+      let rec at i =
+        i + nlen <= hlen
+        && (String.equal (String.sub e.message i nlen) needle || at (i + 1))
+      in
+      nlen = 0 || at 0
+  in
+  List.filter matches (events t)
+
+let clear t =
+  Queue.clear t.buf;
+  t.dropped <- 0
+
+let level_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
+
+let pp_event ppf e =
+  Format.fprintf ppf "[%10.3f] %-5s %-12s %s" e.time (level_string e.level)
+    e.subsystem e.message

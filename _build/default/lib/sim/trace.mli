@@ -1,0 +1,39 @@
+(** Structured event tracing.
+
+    Subsystems record typed events into a shared trace; tests and
+    benches query it. Keeping tracing separate from [logs] output lets
+    experiments make assertions about what happened on the control
+    plane (e.g. "the upstream saw no announcement for a hijacked
+    prefix"). *)
+
+type level = Debug | Info | Warn
+
+type event = {
+  time : float;
+  level : level;
+  subsystem : string;
+  message : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A trace buffer. [capacity] (default 100_000) bounds memory; older
+    events are dropped beyond it. *)
+
+val record : t -> time:float -> level:level -> subsystem:string -> string -> unit
+
+val events : t -> event list
+(** All retained events, oldest first. *)
+
+val count : t -> int
+(** Number of retained events. *)
+
+val dropped : t -> int
+(** Number of events discarded due to the capacity bound. *)
+
+val find : t -> ?subsystem:string -> ?contains:string -> unit -> event list
+(** Filter retained events by subsystem and/or substring. *)
+
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/topo/as_graph.ml: Asn Country Hashtbl List Option Peering_net Prefix Printf Relationship

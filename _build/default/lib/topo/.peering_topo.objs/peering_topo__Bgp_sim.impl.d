@@ -1,0 +1,1 @@
+lib/topo/bgp_sim.ml: As_graph As_path Asn Attrs Community Hashtbl Ipv4 List Option Peering_bgp Peering_net Peering_router Peering_sim Policy Relationship Route

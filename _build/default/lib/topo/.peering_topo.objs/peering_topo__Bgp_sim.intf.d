@@ -1,0 +1,1 @@
+lib/topo/bgp_sim.mli: As_graph Asn Peering_bgp Peering_net Peering_router Peering_sim Prefix

@@ -1,0 +1,1 @@
+lib/topo/customer_cone.ml: As_graph Asn Int List Peering_net Prefix

@@ -1,0 +1,1 @@
+lib/topo/customer_cone.mli: As_graph Asn Peering_net Prefix

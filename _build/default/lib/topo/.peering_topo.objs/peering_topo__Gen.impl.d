@@ -1,0 +1,1 @@
+lib/topo/gen.ml: Array As_graph Asn Country Float Hashtbl Ipv4 List Peering_net Peering_sim Prefix Printf Relationship

@@ -1,0 +1,1 @@
+lib/topo/gen.mli: As_graph Asn Peering_net

@@ -1,0 +1,1 @@
+lib/topo/propagation.ml: Array As_graph Asn Hashtbl Int List Option Peering_net Prefix Queue Relationship

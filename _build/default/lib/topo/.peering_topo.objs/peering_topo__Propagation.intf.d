@@ -1,0 +1,1 @@
+lib/topo/propagation.mli: As_graph Asn Peering_net Prefix Relationship

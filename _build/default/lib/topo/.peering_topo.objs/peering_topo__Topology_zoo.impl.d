@@ -1,0 +1,1 @@
+lib/topo/topology_zoo.ml: Array Country Fun Int List Peering_net String

@@ -1,0 +1,1 @@
+lib/topo/topology_zoo.mli: Country Peering_net

@@ -1,0 +1,155 @@
+open Peering_net
+open Peering_bgp
+module Router = Peering_router.Router
+module Engine = Peering_sim.Engine
+
+type t = {
+  graph : As_graph.t;
+  routers : (int, Router.t) Hashtbl.t;
+  mutable started : bool;
+}
+
+let relationship_community rel =
+  (* 65000:1 customer-learned, :2 peer-learned, :3 provider-learned *)
+  let code =
+    match rel with
+    | Relationship.Customer -> 1
+    | Relationship.Peer -> 2
+    | Relationship.Provider -> 3
+  in
+  Community.make 65000 code
+
+(* Import from a neighbor whose role (from my perspective) is [rel]:
+   tag the route with the relationship and set the economic
+   local-pref. Tags from previous hops are scrubbed first. *)
+let import_policy rel =
+  let lp =
+    match rel with
+    | Relationship.Customer -> 300
+    | Relationship.Peer -> 200
+    | Relationship.Provider -> 100
+  in
+  Policy.of_entries
+    [ { Policy.seq = 10;
+        decision = Policy.Permit;
+        conds = [];
+        actions =
+          [ Policy.Clear_communities;
+            Policy.Add_community (relationship_community rel);
+            Policy.Set_local_pref lp
+          ]
+      } ]
+
+(* Export to a neighbor with role [rel]: customers get everything;
+   peers and providers only get locally-originated and
+   customer-learned routes (valley-free). *)
+let export_policy rel =
+  match rel with
+  | Relationship.Customer -> Policy.permit_all
+  | Relationship.Peer | Relationship.Provider ->
+    Policy.of_entries
+      [ { Policy.seq = 10;
+          decision = Policy.Deny;
+          conds =
+            [ Policy.Any
+                [ Policy.Has_community
+                    (relationship_community Relationship.Peer);
+                  Policy.Has_community
+                    (relationship_community Relationship.Provider)
+                ]
+            ];
+          actions = []
+        };
+        { Policy.seq = 20; decision = Policy.Permit; conds = []; actions = [] }
+      ]
+
+let router_id_of asn =
+  let a = Asn.to_int asn in
+  Ipv4.of_octets 10 (a lsr 16 land 0xFF) (a lsr 8 land 0xFF)
+    ((a land 0xFF) lor 1)
+
+let build engine ?(mrai = 0.0) graph =
+  let routers = Hashtbl.create 64 in
+  List.iter
+    (fun asn ->
+      Hashtbl.replace routers (Asn.to_int asn)
+        (Router.create engine ~asn ~router_id:(router_id_of asn) ~mrai ()))
+    (As_graph.ases graph);
+  let router asn = Hashtbl.find routers (Asn.to_int asn) in
+  (* One session per edge; session addresses carved from 172.16/12 by
+     a global edge counter. *)
+  let edge_counter = ref 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (b, rel_ab) ->
+          if Asn.compare a b < 0 then begin
+            incr edge_counter;
+            let k = !edge_counter in
+            let addr_a =
+              Ipv4.of_octets 172 (16 + (k lsr 14 land 0x0F))
+                (k lsr 6 land 0xFF)
+                ((k land 0x3F) lsl 2 lor 1)
+            in
+            let addr_b = Ipv4.add addr_a 1 in
+            let ra = router a and rb = router b in
+            ignore (Router.connect engine (ra, addr_a) (rb, addr_b));
+            (* [rel_ab] is b's role from a's perspective; a's import
+               from b uses it, a's export to b too. b's side uses the
+               inverse. *)
+            Router.set_import_policy ra addr_b (import_policy rel_ab);
+            Router.set_export_policy ra addr_b (export_policy rel_ab);
+            let rel_ba = Relationship.invert rel_ab in
+            Router.set_import_policy rb addr_a (import_policy rel_ba);
+            Router.set_export_policy rb addr_a (export_policy rel_ba)
+          end)
+        (As_graph.neighbors graph a))
+    (As_graph.ases graph);
+  { graph; routers; started = false }
+
+let router t asn =
+  match Hashtbl.find_opt t.routers (Asn.to_int asn) with
+  | Some r -> r
+  | None -> invalid_arg "Bgp_sim.router: unknown AS"
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    As_graph.iter_prefixes
+      (fun asn prefix -> Router.originate (router t asn) prefix)
+      t.graph
+  end
+
+let originate t asn prefix = Router.originate (router t asn) prefix
+let withdraw t asn prefix = Router.withdraw_network (router t asn) prefix
+
+let route_at t asn prefix = Router.best_route (router t asn) prefix
+
+let as_path_at t asn prefix =
+  Option.map
+    (fun (r : Route.t) -> As_path.to_asns r.Route.attrs.Attrs.as_path)
+    (route_at t asn prefix)
+
+let reachable_count t prefix =
+  Hashtbl.fold
+    (fun _ r acc -> if Router.best_route r prefix <> None then acc + 1 else acc)
+    t.routers 0
+
+let total_updates t =
+  Hashtbl.fold (fun _ r acc -> acc + Router.updates_received r) t.routers 0
+
+(* Keepalive timers keep the event queue non-empty forever, so
+   quiescence is detected on the control plane: no router received an
+   UPDATE for three consecutive steps. *)
+let converged t engine ?(step = 1.0) ?(timeout = 600.0) () =
+  let deadline = Engine.now engine +. timeout in
+  let rec go quiet last =
+    if quiet >= 3 then true
+    else if Engine.now engine >= deadline then false
+    else begin
+      Engine.run_for engine step;
+      let cur = total_updates t in
+      if cur = last then go (quiet + 1) cur else go 0 cur
+    end
+  in
+  go 0 (total_updates t)

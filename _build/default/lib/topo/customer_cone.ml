@@ -1,0 +1,34 @@
+open Peering_net
+
+let cone graph asn =
+  let visited = ref Asn.Set.empty in
+  let rec visit a =
+    if not (Asn.Set.mem a !visited) then begin
+      visited := Asn.Set.add a !visited;
+      List.iter visit (As_graph.customers graph a)
+    end
+  in
+  visit asn;
+  !visited
+
+let cone_size graph asn = Asn.Set.cardinal (cone graph asn)
+
+let cone_prefixes graph asn =
+  Asn.Set.fold
+    (fun a acc ->
+      List.fold_left
+        (fun acc p -> Prefix.Set.add p acc)
+        acc (As_graph.prefixes_of graph a))
+    (cone graph asn) Prefix.Set.empty
+
+let rank_all graph =
+  let sizes =
+    List.map (fun a -> (a, cone_size graph a)) (As_graph.ases graph)
+  in
+  List.sort
+    (fun (a1, s1) (a2, s2) ->
+      match Int.compare s2 s1 with 0 -> Asn.compare a1 a2 | c -> c)
+    sizes
+
+let top graph n =
+  rank_all graph |> List.filteri (fun i _ -> i < n) |> List.map fst

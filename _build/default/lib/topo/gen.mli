@@ -1,0 +1,46 @@
+(** Synthetic Internet generator.
+
+    Builds an AS-level topology with the structural features the
+    paper's evaluation depends on: a clique of tier-1 providers, a
+    transit hierarchy, a heavy tail of stub ASes, and a small set of
+    content/CDN networks that originate a disproportionate share of
+    popular prefixes. Everything is deterministic in the seed. *)
+
+open Peering_net
+
+type params = {
+  seed : int;
+  n_tier1 : int;
+  n_large_transit : int;
+  n_small_transit : int;
+  n_stub : int;
+  n_content : int;
+  target_prefixes : int;
+      (** approximate total prefix count; per-AS counts are scaled so
+          the sum lands near this *)
+}
+
+val default_params : params
+(** A laptop-scale Internet: 12 tier-1s, 40 large transits, 300 small
+    transits, 3000 stubs, 60 content networks, ~30000 prefixes. *)
+
+val paper_scale_params : params
+(** Scaled towards the real 2014 Internet: ~46K ASes and ~500K
+    prefixes. Generation takes a few seconds; used by the E2/E3/F2
+    benches. *)
+
+type world = {
+  graph : As_graph.t;
+  tier1 : Asn.t list;
+  large_transit : Asn.t list;
+  small_transit : Asn.t list;
+  stubs : Asn.t list;
+  content : Asn.t list;
+}
+
+val generate : params -> world
+(** Generate the topology. ASNs are assigned densely from 1. The graph
+    is connected: every AS has a provider chain to the tier-1 clique. *)
+
+val all_transit : world -> Asn.t list
+(** tier1 @ large @ small, ascending. *)

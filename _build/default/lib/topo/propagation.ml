@@ -1,0 +1,147 @@
+open Peering_net
+
+type announcement = {
+  origin : Asn.t;
+  prefix : Prefix.t;
+  path_suffix : Asn.t list;
+  export_to : Asn.Set.t option;
+}
+
+let announce ?(path_suffix = []) ?export_to origin prefix =
+  { origin; prefix; path_suffix; export_to }
+
+type route = {
+  learned_over : Relationship.t option;
+  path : Asn.t list;
+  ann_index : int;
+}
+
+type result = { table : (int, route) Hashtbl.t }
+
+(* Preference class: origin 3 > customer 2 > peer 1 > provider 0. *)
+let class_pref = function
+  | None -> 3
+  | Some rel -> Relationship.import_preference rel
+
+let better (a : route) (b : route) =
+  (* true iff [a] strictly preferred over [b] *)
+  let ca = class_pref a.learned_over and cb = class_pref b.learned_over in
+  if ca <> cb then ca > cb
+  else
+    let la = List.length a.path and lb = List.length b.path in
+    if la <> lb then la < lb
+    else
+      let next_hop r = match r.path with x :: _ -> Asn.to_int x | [] -> -1 in
+      if next_hop a <> next_hop b then next_hop a < next_hop b
+      else a.ann_index < b.ann_index
+
+let propagate ?deny ?(down = Asn.Set.empty) graph announcements =
+  let table : (int, route) Hashtbl.t = Hashtbl.create 1024 in
+  let anns = Array.of_list announcements in
+  let denied asn ann =
+    match deny with Some f -> f asn ann | None -> false
+  in
+  let get asn = Hashtbl.find_opt table (Asn.to_int asn) in
+  let is_down asn = Asn.Set.mem asn down in
+  (* Offer [r] to [asn]; return true if adopted. *)
+  let offer asn (r : route) =
+    if is_down asn then false
+    else if List.exists (Asn.equal asn) r.path then false (* loop *)
+    else if denied asn anns.(r.ann_index) then false
+    else
+      match get asn with
+      | Some cur when not (better r cur) -> false
+      | Some _ | None ->
+        Hashtbl.replace table (Asn.to_int asn) r;
+        true
+  in
+  (* Seed origins. *)
+  List.iteri
+    (fun i (ann : announcement) ->
+      if As_graph.mem graph ann.origin && not (is_down ann.origin) then
+        ignore
+          (offer ann.origin
+             { learned_over = None; path = ann.path_suffix; ann_index = i }))
+    announcements;
+  (* Export the route at [u] to neighbor [v] over [rel_uv] ([v]'s role
+     from [u]'s perspective); import class at [v] is the inverse. *)
+  let try_export u v rel_uv =
+    match get u with
+    | None -> false
+    | Some r ->
+      if is_down u then false
+      else if not (Relationship.exports_to ~learned_from:r.learned_over rel_uv)
+      then false
+      else if
+        (* Selective announcement: the origin only exports to its
+           chosen neighbor set. *)
+        r.learned_over = None
+        &&
+        match anns.(r.ann_index).export_to with
+        | Some allowed -> not (Asn.Set.mem v allowed)
+        | None -> false
+      then false
+      else
+        let import_rel = Relationship.invert rel_uv in
+        offer v { learned_over = Some import_rel; path = u :: r.path;
+                  ann_index = r.ann_index }
+  in
+  (* Phase 1: customer routes climb provider edges to a fixpoint. *)
+  let queue = Queue.create () in
+  Hashtbl.iter (fun asn _ -> Queue.push (Asn.of_int asn) queue) table;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun p -> if try_export u p Relationship.Provider then Queue.push p queue)
+      (As_graph.providers graph u)
+  done;
+  (* Phase 2: one hop across peer edges. Snapshot holders first so a
+     freshly imported peer route is not re-exported to peers. *)
+  let holders = Hashtbl.fold (fun asn _ acc -> Asn.of_int asn :: acc) table [] in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v -> ignore (try_export u v Relationship.Peer))
+        (As_graph.peers_of graph u))
+    (List.sort Asn.compare holders);
+  (* Phase 3: descend customer edges to a fixpoint. *)
+  let queue = Queue.create () in
+  Hashtbl.iter (fun asn _ -> Queue.push (Asn.of_int asn) queue) table;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun c -> if try_export u c Relationship.Customer then Queue.push c queue)
+      (As_graph.customers graph u)
+  done;
+  { table }
+
+let route_at r asn = Hashtbl.find_opt r.table (Asn.to_int asn)
+let path_at r asn = Option.map (fun rt -> rt.path) (route_at r asn)
+
+let full_path r asn =
+  Option.map (fun rt -> asn :: rt.path) (route_at r asn)
+
+let reachable r =
+  Hashtbl.fold (fun asn _ acc -> Asn.of_int asn :: acc) r.table []
+  |> List.sort Asn.compare
+
+let reachable_count r = Hashtbl.length r.table
+
+let catchment r =
+  let counts = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ (rt : route) ->
+      let c = Option.value (Hashtbl.find_opt counts rt.ann_index) ~default:0 in
+      Hashtbl.replace counts rt.ann_index (c + 1))
+    r.table;
+  Hashtbl.fold (fun i c acc -> (i, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let routes_via r via =
+  Hashtbl.fold
+    (fun asn (rt : route) acc ->
+      if List.exists (Asn.equal via) rt.path && not (Asn.equal (Asn.of_int asn) via)
+      then Asn.of_int asn :: acc
+      else acc)
+    r.table []
+  |> List.sort Asn.compare

@@ -1,0 +1,84 @@
+(** Valley-free BGP route propagation over an AS graph.
+
+    Computes, for one prefix announced by one or more origins (anycast
+    and hijack scenarios announce from several), the route every AS
+    selects under the Gao–Rexford model: prefer customer routes over
+    peer routes over provider routes, then shortest AS path, then
+    lowest next-hop ASN. Propagation follows the classic three phases —
+    customer routes climb provider links, cross one peer link, then
+    descend to customers.
+
+    This engine is what stands in for "the live Internet" reacting to
+    PEERING announcements: route injection, selective announcements,
+    AS-path poisoning (LIFEGUARD), prefix hijacks, and anycast
+    catchments are all expressed as [announcement]s. *)
+
+open Peering_net
+
+type announcement = {
+  origin : Asn.t;  (** the AS injecting the route *)
+  prefix : Prefix.t;
+  path_suffix : Asn.t list;
+      (** fake path appended after the origin; poisoning inserts ASNs
+          here so they self-loop-reject the route *)
+  export_to : Asn.Set.t option;
+      (** when [Some s], the origin announces only to neighbors in
+          [s] — PEERING's selective-announcement control. [None] =
+          export to all neighbors (subject to Gao–Rexford). *)
+}
+
+val announce :
+  ?path_suffix:Asn.t list ->
+  ?export_to:Asn.Set.t ->
+  Asn.t ->
+  Prefix.t ->
+  announcement
+
+type route = {
+  learned_over : Relationship.t option;
+      (** relationship class the route was imported over;
+          [None] = this AS originates it *)
+  path : Asn.t list;
+      (** AS path excluding self: next hop first, then onwards to the
+          origin, then any poisoned suffix *)
+  ann_index : int;  (** which announcement this route derives from *)
+}
+
+type result
+
+val propagate :
+  ?deny:(Asn.t -> announcement -> bool) ->
+  ?down:Asn.Set.t ->
+  As_graph.t ->
+  announcement list ->
+  result
+(** Run propagation. [deny asn ann] lets an AS refuse a specific
+    announcement on import (modelling filters); ASes in [down] neither
+    import nor export anything (modelling failures). Announcements must
+    all carry the same prefix or covering/covered prefixes; each is
+    propagated independently and ASes pick their single best. *)
+
+val route_at : result -> Asn.t -> route option
+(** The route the AS selected, [None] if unreachable. *)
+
+val path_at : result -> Asn.t -> Asn.t list option
+
+val full_path : result -> Asn.t -> Asn.t list option
+(** [full_path r asn] is [asn :: path], i.e. the forwarding AS-level
+    path starting at [asn], for ASes with a route. *)
+
+val reachable : result -> Asn.t list
+(** ASes holding a route, ascending. *)
+
+val reachable_count : result -> int
+
+val catchment : result -> (int * int) list
+(** For multi-origin announcements: [(ann_index, count)] pairs giving
+    how many ASes selected a route derived from each announcement
+    (anycast catchment / hijack impact), ascending by index. ASes with
+    no route are not counted. *)
+
+val routes_via : result -> Asn.t -> Asn.t list
+(** ASes whose selected path traverses the given AS (inclusive of
+    next-hop position, exclusive of themselves). Useful for
+    interception experiments. *)

@@ -1,0 +1,42 @@
+(** Embedded PoP-level backbone topologies in the style of the
+    Internet Topology Zoo.
+
+    The paper's §4.2 emulates Hurricane Electric's 24-PoP global
+    backbone from Topology Zoo data. The Zoo's GML files are not
+    shippable here, so we embed a hand-transcribed approximation of
+    the HE graph (same scale: 24 PoPs, ~30 links, US ring plus
+    European and Asian extensions). The Amsterdam PoP — the one §4.2
+    connects to AMS-IX — is present by construction. *)
+
+open Peering_net
+
+type pop = {
+  id : int;
+  city : string;
+  country : Country.t;
+}
+
+type t = {
+  name : string;
+  pops : pop array;
+  links : (int * int) list;  (** undirected, by pop id *)
+}
+
+val hurricane_electric : t
+(** The 24-PoP HE backbone approximation. *)
+
+val abilene : t
+(** The 11-PoP Abilene/Internet2 research backbone — a second,
+    smaller topology for tests and examples. *)
+
+val find_pop : t -> string -> pop option
+(** Look up a PoP by (case-insensitive) city name. *)
+
+val neighbors : t -> int -> int list
+(** Adjacent PoP ids, ascending. *)
+
+val n_pops : t -> int
+val n_links : t -> int
+
+val is_connected : t -> bool
+(** Sanity: the link set spans all PoPs. *)

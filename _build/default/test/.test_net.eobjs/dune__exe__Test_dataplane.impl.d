@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Fib Filter Forwarder Ipv4 List Packet Packet_program Peering_dataplane Peering_net Peering_sim Prefix Traceroute Tunnel

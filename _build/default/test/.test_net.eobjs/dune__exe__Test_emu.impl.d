@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Asn Fib Forwarder Igp Ipv4 List Mininext Packet Peering_dataplane Peering_emu Peering_net Peering_router Peering_sim Peering_topo Prefix

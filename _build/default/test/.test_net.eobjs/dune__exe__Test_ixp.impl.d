@@ -1,0 +1,1 @@
+test/test_ixp.ml: Alcotest Amsix As_path Asn Attrs Community Country Fabric Ipv4 Lazy List Peering_bgp Peering_ixp Peering_net Peering_policy Peering_sim Peering_topo Prefix Route Route_server

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Asn Country Int Ipv4 Ipv6 List Option Peering_net Prefix Prefix6 Prefix_pool Prefix_trie Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_router.ml: Alcotest As_path Asn Attrs Community Config Ipv4 List Memory Option Peering_bgp Peering_net Peering_router Peering_sim Policy Prefix Rib Route Router Session

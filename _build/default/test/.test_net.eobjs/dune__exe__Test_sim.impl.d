@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Event_queue Fun Int List Peering_sim Rng Trace

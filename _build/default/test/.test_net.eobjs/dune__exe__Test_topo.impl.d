@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest As_graph Asn Bgp_sim Customer_cone Gen List Option Peering_net Peering_sim Peering_topo Prefix Printf Propagation QCheck QCheck_alcotest Relationship Topology_zoo

@@ -1,0 +1,1000 @@
+open Peering_net
+open Peering_core
+module Engine = Peering_sim.Engine
+module Gen = Peering_topo.Gen
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let asn = Asn.of_int
+let pfx = Prefix.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Experiment + Controller *)
+
+let test_controller_vetting () =
+  let e = Engine.create () in
+  let ctl =
+    Controller.create e ~supply:[ pfx "184.164.224.0/19" ] ()
+  in
+  (* too-short description rejected *)
+  (match Controller.propose ctl ~id:"x" ~owner:"eve" ~description:"short" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "vetting passed a junk proposal");
+  (* good proposal approved with resources *)
+  match
+    Controller.propose ctl ~id:"lifeguard" ~owner:"ethan"
+      ~description:"reroute around persistent interdomain failures"
+      ~n_prefixes:2 ~n_private_asns:2 ()
+  with
+  | Error err -> Alcotest.fail err
+  | Ok exp ->
+    check Alcotest.int "prefixes allocated" 2
+      (List.length exp.Experiment.prefixes);
+    check Alcotest.int "asns allocated" 2
+      (List.length exp.Experiment.private_asns);
+    check Alcotest.bool "asns private" true
+      (List.for_all Asn.is_private exp.Experiment.private_asns);
+    check Alcotest.bool "approved" true
+      (exp.Experiment.status = Experiment.Approved);
+    (* duplicate id rejected *)
+    (match
+       Controller.propose ctl ~id:"lifeguard" ~owner:"other"
+         ~description:"a second experiment with the same identifier" ()
+     with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "duplicate id accepted");
+    Controller.activate ctl exp;
+    check Alcotest.bool "active" true (Experiment.is_active exp);
+    check Alcotest.bool "owns allocation" true
+      (Experiment.owns_prefix exp (List.hd exp.Experiment.prefixes));
+    let before = Controller.available_blocks ctl in
+    Controller.stop ctl exp;
+    check Alcotest.int "blocks returned" (before + 2)
+      (Controller.available_blocks ctl)
+
+let test_controller_pool_exhaustion () =
+  let e = Engine.create () in
+  let ctl =
+    Controller.create e ~supply:[ pfx "184.164.224.0/22" ]
+      ~max_prefixes_per_experiment:4 ()
+  in
+  (* /22 = 4 blocks of /24 *)
+  (match
+     Controller.propose ctl ~id:"big" ~owner:"o"
+       ~description:"an experiment requesting the whole address pool"
+       ~n_prefixes:4 ()
+   with
+  | Ok _ -> ()
+  | Error err -> Alcotest.fail err);
+  match
+    Controller.propose ctl ~id:"late" ~owner:"o"
+      ~description:"another experiment arriving after pool exhaustion" ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "allocated from empty pool"
+
+let test_controller_scheduling () =
+  let e = Engine.create () in
+  let ctl = Controller.create e ~supply:[ pfx "184.164.224.0/22" ] () in
+  let fired = ref None and notified = ref None in
+  Controller.schedule_announcement ctl ~at:100.0
+    ~action:(fun () -> fired := Some (Engine.now e))
+    ~notify:(fun t -> notified := Some t)
+    ();
+  check Alcotest.int "pending" 1 (Controller.scheduled_count ctl);
+  Engine.run ~until:50.0 e;
+  check Alcotest.bool "not yet" true (!fired = None);
+  Engine.run ~until:200.0 e;
+  check Alcotest.(option (float 1e-9)) "fired on time" (Some 100.0) !fired;
+  check Alcotest.(option (float 1e-9)) "researcher notified" (Some 100.0)
+    !notified;
+  check Alcotest.int "drained" 0 (Controller.scheduled_count ctl)
+
+let test_controller_donation () =
+  let e = Engine.create () in
+  let ctl = Controller.create e ~supply:[ pfx "184.164.224.0/24" ] () in
+  check Alcotest.int "one block" 1 (Controller.available_blocks ctl);
+  Controller.donate_supply ctl (pfx "198.51.100.0/23");
+  check Alcotest.int "donated blocks" 3 (Controller.available_blocks ctl);
+  check Alcotest.bool "owns donation" true
+    (Controller.owns ctl (pfx "198.51.100.0/24"))
+
+(* ------------------------------------------------------------------ *)
+(* Safety *)
+
+let active_experiment () =
+  let exp =
+    Experiment.make ~id:"e1" ~owner:"o"
+      ~description:"a perfectly legitimate routing experiment" ()
+  in
+  exp.Experiment.prefixes <- [ pfx "184.164.224.0/24" ];
+  exp.Experiment.private_asns <- [ asn 64512 ];
+  exp.Experiment.status <- Experiment.Active;
+  exp
+
+let mk_safety () =
+  Safety.create ~peering_asn:(asn 47065)
+    ~owns:(fun p -> Prefix.subsumes (pfx "184.164.224.0/19") p)
+    ()
+
+let test_safety_hijack_blocked () =
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  (* announcing google's prefix is a hijack *)
+  match
+    Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp
+      ~prefix:(pfx "8.8.8.0/24") ~path_suffix:[]
+  with
+  | Error Safety.Prefix_not_owned -> ()
+  | Error e -> Alcotest.failf "wrong reason: %s" (Safety.reason_to_string e)
+  | Ok () -> Alcotest.fail "hijack permitted"
+
+let test_safety_isolation () =
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  (* PEERING space, but not this experiment's block *)
+  (match
+     Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp
+       ~prefix:(pfx "184.164.225.0/24") ~path_suffix:[]
+   with
+  | Error Safety.Prefix_not_allocated -> ()
+  | _ -> Alcotest.fail "cross-experiment announcement permitted");
+  (* two clients, same prefix: second blocked *)
+  (match
+     Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp
+       ~prefix:(pfx "184.164.224.0/24") ~path_suffix:[]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "legit blocked: %s" (Safety.reason_to_string e));
+  match
+    Safety.check_announce s ~now:10.0 ~client:"c2" ~experiment:exp
+      ~prefix:(pfx "184.164.224.0/24") ~path_suffix:[]
+  with
+  | Error Safety.Announced_by_other_experiment -> ()
+  | _ -> Alcotest.fail "duplicate announcement permitted"
+
+let test_safety_inactive () =
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  exp.Experiment.status <- Experiment.Stopped;
+  match
+    Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp
+      ~prefix:(pfx "184.164.224.0/24") ~path_suffix:[]
+  with
+  | Error Safety.Experiment_not_active -> ()
+  | _ -> Alcotest.fail "stopped experiment announced"
+
+let test_safety_poisoning_permission () =
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  (* public ASN in suffix without poison rights: rejected *)
+  (match
+     Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp
+       ~prefix:(pfx "184.164.224.0/24") ~path_suffix:[ asn 3356 ]
+   with
+  | Error (Safety.Poisoning_not_permitted _) -> ()
+  | _ -> Alcotest.fail "unvetted poisoning permitted");
+  (* private suffix fine, and stripped on sanitize *)
+  (match
+     Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp
+       ~prefix:(pfx "184.164.224.0/24") ~path_suffix:[ asn 64512 ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "private suffix blocked: %s" (Safety.reason_to_string e));
+  check Alcotest.(list int) "private stripped" []
+    (List.map Asn.to_int (Safety.sanitize_suffix s exp [ asn 64512 ]));
+  (* vetted poisoning passes and survives sanitize *)
+  let exp2 =
+    Experiment.make ~id:"e2" ~owner:"o"
+      ~description:"a lifeguard style failure avoidance experiment"
+      ~may_poison:true ()
+  in
+  exp2.Experiment.prefixes <- [ pfx "184.164.225.0/24" ];
+  exp2.Experiment.status <- Experiment.Active;
+  (match
+     Safety.check_announce s ~now:0.0 ~client:"c9" ~experiment:exp2
+       ~prefix:(pfx "184.164.225.0/24") ~path_suffix:[ asn 3356 ]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "vetted poisoning blocked: %s" (Safety.reason_to_string e));
+  check Alcotest.(list int) "poison survives" [ 3356 ]
+    (List.map Asn.to_int (Safety.sanitize_suffix s exp2 [ asn 3356 ]))
+
+let test_safety_dampening () =
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  let p = pfx "184.164.224.0/24" in
+  let announce now =
+    Safety.check_announce s ~now ~client:"flappy" ~experiment:exp ~prefix:p
+      ~path_suffix:[]
+  in
+  (match announce 0.0 with Ok () -> () | Error _ -> Alcotest.fail "first");
+  Safety.note_withdraw s ~now:1.0 ~client:"flappy" ~prefix:p;
+  (match announce 1.5 with Ok () -> () | Error _ -> Alcotest.fail "second");
+  Safety.note_withdraw s ~now:2.0 ~client:"flappy" ~prefix:p;
+  (match announce 2.2 with Ok () -> () | Error _ -> Alcotest.fail "third");
+  Safety.note_withdraw s ~now:2.5 ~client:"flappy" ~prefix:p;
+  (* three rapid withdrawals => penalty ~3000 > suppress threshold *)
+  match announce 3.0 with
+  | Error (Safety.Dampened until) ->
+    check Alcotest.bool "reuse in future" true (until > 3.0);
+    check Alcotest.bool "suppressed_until agrees" true
+      (Safety.suppressed_until s ~now:3.0 ~client:"flappy" p <> None)
+  | _ -> Alcotest.fail "flapping client not dampened"
+
+(* ------------------------------------------------------------------ *)
+(* Capability (Table 1) *)
+
+let test_capability_claims () =
+  check Alcotest.bool "PEERING meets all goals" true
+    (Capability.peering_meets_all ());
+  check Alcotest.int "no pair of other systems covers all" 0
+    (List.length (Capability.combinations_covering_all ()));
+  (* spot-check cells against the paper *)
+  check Alcotest.bool "TP interdomain" true
+    (Capability.support Capability.Transit_portal Capability.Interdomain
+     = Capability.Full);
+  check Alcotest.bool "beacons limited interdomain" true
+    (Capability.support Capability.Beacons Capability.Interdomain
+     = Capability.Limited);
+  check Alcotest.bool "mininet no rich conn" true
+    (Capability.support Capability.Mininet Capability.Rich_connectivity
+     = Capability.None_);
+  check Alcotest.bool "render mentions all testbeds" true
+    (List.for_all
+       (fun t ->
+         let abbrev = Capability.testbed_abbrev t in
+         let rendered = Capability.render () in
+         let len_r = String.length rendered and len_a = String.length abbrev in
+         let rec find i =
+           i + len_a <= len_r
+           && (String.sub rendered i len_a = abbrev || find (i + 1))
+         in
+         find 0)
+       Capability.testbeds)
+
+(* ------------------------------------------------------------------ *)
+(* Testbed integration *)
+
+let small_world =
+  { Gen.default_params with
+    Gen.n_tier1 = 5;
+    n_large_transit = 12;
+    n_small_transit = 80;
+    n_stub = 900;
+    n_content = 15;
+    target_prefixes = 4000
+  }
+
+let small_params =
+  { Testbed.default_params with
+    Testbed.world = small_world;
+    university_sites = [ ("gatech01", 2) ]
+  }
+
+let build () = Testbed.build ~params:small_params ()
+
+let testbed = lazy (build ())
+
+let test_testbed_build () =
+  let t = Lazy.force testbed in
+  let names = List.map Testbed.site_name (Testbed.sites t) in
+  check Alcotest.(list string) "sites"
+    [ "amsterdam01"; "gatech01"; "phoenix01" ]
+    (List.sort String.compare names);
+  (* AMS-IX yields hundreds of peers *)
+  let ams_peers = Testbed.peers_at t "amsterdam01" in
+  check Alcotest.bool "hundreds of peers" true (List.length ams_peers >= 554);
+  check Alcotest.int "university providers" 2
+    (List.length (Testbed.peers_at t "gatech01"))
+
+let test_testbed_announce_reaches_internet () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"reach" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-reach" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01"; "gatech01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  let outcomes = Client.announce client p in
+  List.iter
+    (fun (site, r) ->
+      match r with
+      | Ok () -> ()
+      | Error reason ->
+        Alcotest.failf "%s rejected: %s" site (Safety.reason_to_string reason))
+    outcomes;
+  let reach = Testbed.reach_count t p in
+  let total = Peering_topo.As_graph.n_ases (Testbed.graph t) in
+  check Alcotest.bool "most of the Internet reaches the prefix" true
+    (reach > total / 2);
+  (* path from a random stub ends at PEERING *)
+  let w = Testbed.world t in
+  let stub = List.nth w.Gen.stubs 10 in
+  (match Testbed.path_from t stub p with
+  | Some path ->
+    check Alcotest.int "path terminates at AS 47065" 47065
+      (Asn.to_int (List.nth path (List.length path - 1)))
+  | None -> Alcotest.fail "stub cannot reach the prefix");
+  (* collector saw the export *)
+  check Alcotest.bool "collector recorded" true
+    (Peering_measure.Collector.n_entries (Testbed.collector t) > 0);
+  Client.withdraw client p;
+  check Alcotest.int "withdrawn: unreachable" 0 (Testbed.reach_count t p)
+
+let test_testbed_selective_announcement () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"selective" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-sel" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  (* announce to every AMS peer *)
+  ignore (Client.announce client p);
+  let full = Testbed.reach_count t p in
+  Client.withdraw client p;
+  (* announce to just three peers *)
+  let three =
+    List.filteri (fun i _ -> i < 3) (Testbed.peers_at t "amsterdam01")
+  in
+  ignore (Client.announce client ~peers:three p);
+  let limited = Testbed.reach_count t p in
+  check Alcotest.bool "selective reaches fewer ASes" true (limited < full);
+  check Alcotest.bool "but still propagates" true (limited > 0);
+  Client.withdraw client p
+
+let test_testbed_hijack_contained () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"attacker" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-evil" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  (* try to hijack a real prefix of the simulated Internet *)
+  let w = Testbed.world t in
+  let victim_prefix =
+    List.hd
+      (Peering_topo.As_graph.prefixes_of (Testbed.graph t)
+         (List.hd w.Gen.stubs))
+  in
+  (match Client.announce client victim_prefix with
+  | [ (_, Error Safety.Prefix_not_owned) ] -> ()
+  | _ -> Alcotest.fail "hijack not contained");
+  (* the Internet never saw it *)
+  check Alcotest.int "no propagation" 0 (Testbed.reach_count t victim_prefix)
+
+let test_testbed_anycast_catchment () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"anycast" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-any" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01"; "gatech01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  (* every AS with a route enters through some site *)
+  let w = Testbed.world t in
+  let sites =
+    List.filter_map
+      (fun stub -> Testbed.ingress_site t ~from_asn:stub p)
+      (List.filteri (fun i _ -> i < 200) w.Gen.stubs)
+  in
+  check Alcotest.bool "catchment observed" true (List.length sites > 100);
+  let distinct = List.sort_uniq String.compare sites in
+  check Alcotest.bool "traffic splits across sites" true
+    (List.length distinct >= 2);
+  Client.withdraw client p
+
+let test_testbed_failure_avoidance () =
+  (* LIFEGUARD-style: a transit AS fails; announcements still reach via
+     other paths after reroute. *)
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"lifeguard-it" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-lg" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "gatech01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  let before = Testbed.reach_count t p in
+  (* kill one of the university providers *)
+  let provider = List.hd (Testbed.peers_at t "gatech01") in
+  Testbed.set_down t provider true;
+  let after = Testbed.reach_count t p in
+  check Alcotest.bool "connectivity survives via second provider" true
+    (after > 0);
+  check Alcotest.bool "failure shrinks or keeps reach" true (after <= before);
+  Testbed.set_down t provider false;
+  check Alcotest.int "recovery" before (Testbed.reach_count t p);
+  Client.withdraw client p
+
+let test_testbed_moas_hijack_study () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"moas" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-moas" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  let legit = Testbed.reach_count t p in
+  (* an attacker in the wild announces our prefix *)
+  let w = Testbed.world t in
+  let attacker = List.nth w.Gen.small_transit 5 in
+  Testbed.inject_external t ~origin:attacker p;
+  (match Testbed.result_for t p with
+  | None -> Alcotest.fail "no result"
+  | Some r ->
+    let catchment = Peering_topo.Propagation.catchment r in
+    check Alcotest.int "two origins compete" 2 (List.length catchment));
+  (* some ASes are captured by the attacker *)
+  let captured =
+    List.length
+      (List.filter
+         (fun stub -> Testbed.ingress_site t ~from_asn:stub p = None)
+         (List.filteri (fun i _ -> i < 200) (Testbed.world t).Gen.stubs))
+  in
+  check Alcotest.bool "hijack diverts some ASes" true (captured > 0);
+  Testbed.retract_external t ~origin:attacker p;
+  check Alcotest.int "retraction restores" legit (Testbed.reach_count t p);
+  Client.withdraw client p
+
+let test_testbed_client_receives_routes () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"rx" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-rx" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "gatech01" ];
+  let fed = Testbed.feed_peer_routes t ~site:"gatech01" ~max_per_peer:50 () in
+  check Alcotest.bool "routes fed" true (fed > 0);
+  check Alcotest.bool "client rib populated" true (Client.route_count client > 0);
+  (* candidates carry per-peer multiplicity: same prefix can arrive
+     from both providers *)
+  let multi =
+    Peering_bgp.Rib.fold_best
+      (fun prefix _ acc ->
+        max acc (List.length (Client.candidates client prefix)))
+      (Client.rib client) 0
+  in
+  check Alcotest.bool "client sees per-peer routes" true (multi >= 1)
+
+let test_server_session_stats () =
+  let t = Lazy.force testbed in
+  let server = Testbed.site_server (Testbed.site_exn t "amsterdam01") in
+  let stats = Server.session_stats server in
+  check Alcotest.bool "per-peer mode default" true
+    (stats.Server.mode = Server.Per_peer_sessions);
+  check Alcotest.int "peer sessions = peers" stats.Server.n_peers
+    stats.Server.peer_sessions;
+  check Alcotest.int "client sessions = clients x peers"
+    (stats.Server.n_clients * stats.Server.n_peers)
+    stats.Server.client_sessions
+
+let test_client_ignore_peer () =
+  let t = Lazy.force testbed in
+  let exp =
+    match Testbed.new_experiment t ~id:"ignore" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-ign" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "gatech01" ];
+  ignore (Testbed.feed_peer_routes t ~site:"gatech01" ~max_per_peer:50 ());
+  let before = Client.route_count client in
+  let peer = List.hd (Testbed.peers_at t "gatech01") in
+  Client.ignore_peer client ~server:"gatech01" ~peer;
+  check Alcotest.bool "ignored peer's routes dropped" true
+    (Client.route_count client < before)
+
+(* ------------------------------------------------------------------ *)
+(* Portal *)
+
+let test_portal_accounts () =
+  let t = Lazy.force testbed in
+  let portal = Portal.create t in
+  (match Portal.register portal ~username:"alice" ~email:"a@usc.edu"
+           ~affiliation:"USC" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Portal.register portal ~username:"alice" ~email:"x@y.edu"
+           ~affiliation:"other" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "duplicate username accepted");
+  (* no affiliation, non-.edu address: held *)
+  (match Portal.register portal ~username:"anon" ~email:"x@example.com"
+           ~affiliation:"  " with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "anonymous account auto-approved");
+  check Alcotest.bool "approved" true
+    (match Portal.account portal "alice" with
+    | Some a -> a.Portal.approved
+    | None -> false)
+
+let test_portal_board () =
+  let t = Lazy.force testbed in
+  let portal = Portal.create t in
+  (match Portal.register portal ~username:"bob" ~email:"b@gatech.edu"
+           ~affiliation:"Georgia Tech" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* a good proposal and a bad one (unjustified poisoning) *)
+  (match
+     Portal.submit portal ~username:"bob" ~id:"portal-good"
+       ~description:
+         "measure interdomain route convergence with controlled announcements"
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Portal.submit portal ~username:"bob" ~id:"portal-bad"
+       ~description:"a generic study that wants dangerous capabilities"
+       ~wants_poison:true ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "two pending" 2 (List.length (Portal.pending portal));
+  let outcomes = Portal.run_board portal in
+  check Alcotest.int "queue drained" 0 (List.length (Portal.pending portal));
+  (match List.assoc "portal-good" outcomes with
+  | Ok e ->
+    check Alcotest.bool "provisioned active" true (Experiment.is_active e)
+  | Error e -> Alcotest.failf "good proposal rejected: %s" e);
+  (match List.assoc "portal-bad" outcomes with
+  | Error reason ->
+    check Alcotest.bool "mentions poisoning" true
+      (String.length reason > 0)
+  | Ok _ -> Alcotest.fail "unjustified poisoning approved");
+  (* a justified poisoning proposal passes the safety reviewer *)
+  (match
+     Portal.submit portal ~username:"bob" ~id:"portal-poison"
+       ~description:
+         "LIFEGUARD-style rerouting using BGP poisoning to avoid failures"
+       ~wants_poison:true ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  match List.assoc "portal-poison" (Portal.run_board portal) with
+  | Ok e -> check Alcotest.bool "may poison" true e.Experiment.may_poison
+  | Error e -> Alcotest.failf "justified poisoning rejected: %s" e
+
+let test_portal_provisioning () =
+  let t = Lazy.force testbed in
+  let portal = Portal.create t in
+  (match Portal.register portal ~username:"carol" ~email:"c@ufmg.br"
+           ~affiliation:"UFMG" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match
+     Portal.submit portal ~username:"carol" ~id:"portal-prov"
+       ~description:"anycast catchment measurements from all PEERING sites"
+       ()
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Portal.run_board portal with
+  | [ (_, Ok _) ] -> ()
+  | _ -> Alcotest.fail "provisioning failed");
+  match Portal.provision portal ~experiment_id:"portal-prov" with
+  | Error e -> Alcotest.fail e
+  | Ok kit ->
+    check Alcotest.int "one endpoint per site" 3 (List.length kit.Portal.sites);
+    (* the generated config parses and compiles with our own tools *)
+    let parsed = Peering_router.Config.parse_exn kit.Portal.client_config in
+    (match Peering_router.Config.bgp parsed with
+    | Some bgp ->
+      check Alcotest.int "asn 47065" 47065
+        (Asn.to_int bgp.Peering_router.Config.asn);
+      check Alcotest.int "neighbors = sites" 3
+        (List.length bgp.Peering_router.Config.neighbors);
+      check Alcotest.int "networks = prefixes" 1
+        (List.length bgp.Peering_router.Config.networks)
+    | None -> Alcotest.fail "no bgp block in generated config");
+    (match Peering_router.Config.compile_route_map parsed "EXPORT" with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "generated route-map: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* Remote peering + IPv6 allocation *)
+
+let test_remote_peering () =
+  let params =
+    { Testbed.default_params with
+      Testbed.world = small_world;
+      university_sites = [];
+      with_phoenix = false
+    }
+  in
+  let t = Testbed.build ~params () in
+  let before = List.length (Testbed.peers_at t "amsterdam01") in
+  let fabric = Testbed.add_remote_ixp t ~via:"amsterdam01" ~name:"DE-CIX" () in
+  let after = List.length (Testbed.peers_at t "amsterdam01") in
+  check Alcotest.bool "peers grew" true (after > before);
+  check Alcotest.bool "no more than fabric RS users" true
+    (after - before
+    <= List.length (Peering_ixp.Fabric.route_server_users fabric));
+  (* an announcement now also reaches the remote peers directly *)
+  let exp =
+    match Testbed.new_experiment t ~id:"remote" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-remote" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  check Alcotest.bool "reaches internet" true (Testbed.reach_count t p > 0)
+
+let test_route_server_to_mux_integration () =
+  (* Control-plane path the AMS-IX deployment uses: members announce to
+     the IXP route server; the server's deliveries feed the PEERING
+     mux, which relays per-peer routes to clients. *)
+  let e = Engine.create () in
+  let safety =
+    Safety.create ~peering_asn:(asn 47065) ~owns:(fun _ -> true) ()
+  in
+  let server =
+    Server.create e ~name:"ams" ~asn:(asn 47065) ~safety
+      ~export:(fun _ -> ()) ()
+  in
+  let rs = Peering_ixp.Route_server.create () in
+  let members = [ asn 100; asn 200; asn 300 ] in
+  List.iter
+    (fun m ->
+      Peering_ixp.Route_server.connect rs m;
+      Server.add_peer server ~kind:Server.Route_server_peer m)
+    members;
+  Peering_ixp.Route_server.connect rs (asn 47065);
+  let exp =
+    Experiment.make ~id:"rs-int" ~owner:"o"
+      ~description:"route server to mux integration exercise" ()
+  in
+  exp.Experiment.status <- Experiment.Active;
+  let client = Client.create ~id:"rs-client" ~experiment:exp () in
+  Client.connect client server;
+  (* member 100 announces through the route server *)
+  let route =
+    Peering_bgp.Route.make
+      (pfx "10.100.0.0/16")
+      (Peering_bgp.Attrs.make
+         ~as_path:(Peering_bgp.As_path.of_asns [ asn 100 ])
+         ~next_hop:(Ipv4.of_octets 192 0 2 100)
+         ())
+  in
+  let deliveries =
+    Peering_ixp.Route_server.announce rs ~from:(asn 100) route
+  in
+  (* the server hears the RS delivery addressed to PEERING *)
+  List.iter
+    (fun (to_member, (r : Peering_bgp.Route.t)) ->
+      if Asn.equal to_member (asn 47065) then
+        Server.learn_route server ~peer:(asn 100)
+          ~path:
+            (List.map Fun.id
+               (Peering_bgp.As_path.to_asns r.Peering_bgp.Route.attrs.Peering_bgp.Attrs.as_path))
+          r.Peering_bgp.Route.prefix)
+    deliveries;
+  check Alcotest.int "client sees the member route" 1
+    (Client.route_count client);
+  match Client.best client (pfx "10.100.0.0/16") with
+  | Some r ->
+    check Alcotest.(option int) "origin preserved" (Some 100)
+      (Option.map Asn.to_int (Peering_bgp.Route.origin_asn r))
+  | None -> Alcotest.fail "route missing"
+
+let test_monitoring () =
+  let params =
+    { Testbed.default_params with
+      Testbed.world = small_world;
+      university_sites = [ ("gatech01", 2) ];
+      with_phoenix = false
+    }
+  in
+  let t = Testbed.build ~params () in
+  let exp =
+    match Testbed.new_experiment t ~id:"monitor" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-mon" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  let col = Testbed.collector t in
+  Peering_measure.Collector.clear col;
+  Testbed.start_monitoring t ~interval:60.0 ~rounds:3 ();
+  Engine.run ~until:500.0 (Testbed.engine t);
+  check Alcotest.int "three rounds" 3 (Testbed.monitoring_rounds_completed t);
+  (* 16 vantages x 3 rounds x 1 prefix *)
+  check Alcotest.int "measurements recorded" 48
+    (Peering_measure.Collector.n_entries col);
+  (* measurement paths end at PEERING *)
+  match Peering_measure.Collector.entries col with
+  | e :: _ ->
+    check Alcotest.int "path reaches PEERING" 47065
+      (Asn.to_int (List.nth e.Peering_measure.Collector.path
+                     (List.length e.Peering_measure.Collector.path - 1)))
+  | [] -> Alcotest.fail "no entries"
+
+let test_sdx_policy_composition () =
+  let e = Engine.create () in
+  let fwd = Peering_dataplane.Forwarder.create e in
+  let open Peering_dataplane in
+  (* Three participants around the fabric. *)
+  List.iter (Forwarder.add_node fwd) [ "pA"; "pB"; "pC" ];
+  let sdx = Sdx.create e fwd ~name:"test-ix" () in
+  Sdx.attach_participant sdx ~asn:(asn 100) ~node:"pA";
+  Sdx.attach_participant sdx ~asn:(asn 200) ~node:"pB";
+  Sdx.attach_participant sdx ~asn:(asn 300) ~node:"pC";
+  (* both B and C can reach the content prefix; C announced first *)
+  Sdx.announce sdx ~from:(asn 300) (pfx "198.51.100.0/24");
+  Sdx.announce sdx ~from:(asn 200) (pfx "198.51.100.0/24");
+  (* A prefers B for web traffic *)
+  Sdx.set_policy sdx ~asn:(asn 100)
+    [ { Sdx.description = "web-via-B";
+        matches =
+          { Packet_program.match_any with
+            Packet_program.dst_in = Some (pfx "198.51.100.0/24");
+            dport = Some 80
+          };
+        action = Sdx.Forward_to (asn 200)
+      };
+      (* a bogus rule: D never announced anything covering this *)
+      { Sdx.description = "impossible";
+        matches =
+          { Packet_program.match_any with
+            Packet_program.dst_in = Some (pfx "203.0.113.0/24")
+          };
+        action = Sdx.Forward_to (asn 300)
+      }
+    ];
+  (match Sdx.compile sdx with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  check Alcotest.int "reachability check rejected the bogus rule" 1
+    (List.length (Sdx.rejected_rules sdx));
+  (* traffic from A enters the fabric from A's edge node: port 80 goes
+     to B (policy), port 443 to C (BGP) *)
+  Forwarder.set_route fwd "pA" (pfx "198.51.100.0/24")
+    (Fib.Via (Sdx.fabric_node sdx));
+  let inject dport =
+    Forwarder.inject fwd ~at:"pA"
+      (Packet.make
+         ~src:(Ipv4.of_octets 10 0 100 1)
+         ~dst:(Ipv4.of_octets 198 51 100 80)
+         ~proto:(Packet.Tcp { sport = 9999; dport })
+         ())
+  in
+  inject 80;
+  inject 443;
+  Engine.run ~until:2.0 e;
+  check Alcotest.int "port 80 delivered via B" 1 (Sdx.delivered_to sdx (asn 200));
+  check Alcotest.int "port 443 followed BGP to C" 1
+    (Sdx.delivered_to sdx (asn 300));
+  check Alcotest.int "A got nothing" 0 (Sdx.delivered_to sdx (asn 100))
+
+let test_atlas_probes () =
+  let t = Lazy.force testbed in
+  let w = Testbed.world t in
+  let atlas =
+    Peering_measure.Atlas.deploy ~rng:(Peering_sim.Rng.create 9) ~world:w
+      ~n:50
+  in
+  check Alcotest.int "50 probes" 50 (Peering_measure.Atlas.n_probes atlas);
+  let distinct =
+    List.sort_uniq Asn.compare
+      (List.map
+         (fun p -> p.Peering_measure.Atlas.host_asn)
+         (Peering_measure.Atlas.probes atlas))
+  in
+  check Alcotest.int "distinct hosts" 50 (List.length distinct);
+  (* measure toward an announced PEERING prefix *)
+  let exp =
+    match Testbed.new_experiment t ~id:"atlas" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-atlas" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  let oracle asn = Testbed.path_from t asn p in
+  let reach = Peering_measure.Atlas.reachability atlas ~path_of:oracle in
+  check Alcotest.bool "most probes reach" true (reach > 0.9);
+  let rtts = List.filter_map snd (Peering_measure.Atlas.ping atlas ~path_of:oracle) in
+  check Alcotest.bool "rtts positive" true (List.for_all (fun r -> r > 0.0) rtts);
+  (* a traceroute ends at PEERING *)
+  (match
+     Peering_measure.Atlas.traceroute atlas ~path_of:oracle
+       (List.hd (Peering_measure.Atlas.probes atlas))
+   with
+  | Some path ->
+    check Alcotest.int "terminates at PEERING" 47065
+      (Asn.to_int (List.nth path (List.length path - 1)))
+  | None -> Alcotest.fail "probe unreachable");
+  Client.withdraw client p;
+  check Alcotest.(float 1e-9) "withdrawal visible to probes" 0.0
+    (Peering_measure.Atlas.reachability atlas ~path_of:oracle)
+
+let test_rov_containment () =
+  let params =
+    { Testbed.default_params with
+      Testbed.world = small_world;
+      university_sites = [];
+      with_phoenix = false
+    }
+  in
+  let t = Testbed.build ~params () in
+  let exp =
+    match Testbed.new_experiment t ~id:"rov-test" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-rov" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  ignore (Client.announce client p);
+  let attacker = List.nth (Testbed.world t).Gen.small_transit 3 in
+  Testbed.inject_external t ~origin:attacker p;
+  let hijacked adopters =
+    Testbed.set_rov t
+      ~roas:
+        (Peering_bgp.Rpki.add_roa Peering_bgp.Rpki.empty ~prefix:p
+           Testbed.peering_asn)
+      ~adopters;
+    match Testbed.result_for t p with
+    | None -> -1
+    | Some r ->
+      List.length
+        (List.filter
+           (fun a ->
+             (not (Asn.equal a attacker))
+             && Testbed.ingress_site t ~from_asn:a p = None)
+           (Peering_topo.Propagation.reachable r))
+  in
+  let without = hijacked Asn.Set.empty in
+  let all = Asn.Set.of_list (Peering_topo.As_graph.ases (Testbed.graph t)) in
+  let with_full = hijacked all in
+  check Alcotest.bool "hijack succeeds without ROV" true (without > 0);
+  check Alcotest.int "universal ROV kills the hijack" 0 with_full;
+  Testbed.clear_rov t;
+  Testbed.retract_external t ~origin:attacker p
+
+let test_beacon_schedule () =
+  let params =
+    { Testbed.default_params with
+      Testbed.world = small_world;
+      university_sites = [];
+      with_phoenix = false
+    }
+  in
+  let t = Testbed.build ~params () in
+  let exp =
+    match Testbed.new_experiment t ~id:"beacon" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client = Client.create ~id:"c-beacon" ~experiment:exp () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let p = List.hd exp.Experiment.prefixes in
+  (* A classic well-spaced beacon: never dampened. *)
+  let b = Beacon.start t client ~prefix:p ~period:1800.0 ~rounds:3 () in
+  Engine.run ~until:(1800.0 *. 8.0) (Testbed.engine t);
+  check Alcotest.int "all transitions executed" 6 (Beacon.transitions_executed b);
+  check Alcotest.int "never suppressed" 0 (Beacon.suppressed b);
+  (* strict alternation announce/withdraw at the period spacing *)
+  let rec alternates expect = function
+    | [] -> true
+    | (_, kind) :: rest -> kind = expect
+      && alternates (if expect = `Announce then `Withdraw else `Announce) rest
+  in
+  check Alcotest.bool "alternation" true (alternates `Announce (Beacon.events b));
+  check Alcotest.int "prefix quiescent at the end" 0 (Testbed.reach_count t p);
+  (* An abusive fast beacon trips dampening. *)
+  let exp2 =
+    match Testbed.new_experiment t ~id:"beacon-fast" () with
+    | Ok e -> e
+    | Error e -> Alcotest.fail e
+  in
+  let client2 = Client.create ~id:"c-beacon2" ~experiment:exp2 () in
+  Testbed.connect_client t client2 ~sites:[ "amsterdam01" ];
+  let p2 = List.hd exp2.Experiment.prefixes in
+  let b2 = Beacon.start t client2 ~prefix:p2 ~period:30.0 ~rounds:6 () in
+  Engine.run ~until:(1800.0 *. 8.0 +. 500.0) (Testbed.engine t);
+  check Alcotest.bool "fast beacon suppressed" true (Beacon.suppressed b2 > 0)
+
+let test_controller_v6 () =
+  let e = Engine.create () in
+  let ctl = Controller.create e ~supply:[ pfx "184.164.224.0/19" ] () in
+  match
+    Controller.propose ctl ~id:"v6" ~owner:"o"
+      ~description:"dual stack experiment over PEERING v6 space"
+      ~n_v6_prefixes:2 ()
+  with
+  | Error err -> Alcotest.fail err
+  | Ok exp ->
+    check Alcotest.int "two v6 blocks" 2
+      (List.length exp.Experiment.v6_prefixes);
+    List.iter
+      (fun p ->
+        check Alcotest.int "/48" 48 (Prefix6.len p);
+        check Alcotest.bool "inside supply" true
+          (Prefix6.subsumes (Prefix6.of_string_exn "2804:269c::/32") p))
+      exp.Experiment.v6_prefixes;
+    check Alcotest.bool "ownership test" true
+      (Experiment.owns_v6_prefix exp
+         (Prefix6.of_string_exn "2804:269c::/56"));
+    let first = List.hd exp.Experiment.v6_prefixes in
+    Controller.activate ctl exp;
+    Controller.stop ctl exp;
+    (* freed block is reused by the next experiment *)
+    (match
+       Controller.propose ctl ~id:"v6b" ~owner:"o"
+         ~description:"a second v6 experiment reusing freed blocks"
+         ~n_v6_prefixes:1 ()
+     with
+    | Ok exp2 ->
+      check Alcotest.bool "block reused" true
+        (Prefix6.equal first (List.hd exp2.Experiment.v6_prefixes))
+    | Error err -> Alcotest.fail err)
+
+let () =
+  Alcotest.run "core"
+    [ ( "controller",
+        [ tc "vetting" `Quick test_controller_vetting;
+          tc "pool exhaustion" `Quick test_controller_pool_exhaustion;
+          tc "scheduling" `Quick test_controller_scheduling;
+          tc "donation" `Quick test_controller_donation
+        ] );
+      ( "safety",
+        [ tc "hijack blocked" `Quick test_safety_hijack_blocked;
+          tc "isolation" `Quick test_safety_isolation;
+          tc "inactive" `Quick test_safety_inactive;
+          tc "poisoning permission" `Quick test_safety_poisoning_permission;
+          tc "dampening" `Quick test_safety_dampening
+        ] );
+      ("capability", [ tc "table 1 claims" `Quick test_capability_claims ]);
+      ( "testbed",
+        [ tc "build" `Quick test_testbed_build;
+          tc "announce reaches internet" `Quick test_testbed_announce_reaches_internet;
+          tc "selective announcement" `Quick test_testbed_selective_announcement;
+          tc "hijack contained" `Quick test_testbed_hijack_contained;
+          tc "anycast catchment" `Quick test_testbed_anycast_catchment;
+          tc "failure avoidance" `Quick test_testbed_failure_avoidance;
+          tc "MOAS hijack study" `Quick test_testbed_moas_hijack_study;
+          tc "client receives routes" `Quick test_testbed_client_receives_routes;
+          tc "session stats" `Quick test_server_session_stats;
+          tc "ignore peer" `Quick test_client_ignore_peer
+        ] );
+      ( "portal",
+        [ tc "accounts" `Quick test_portal_accounts;
+          tc "advisory board" `Quick test_portal_board;
+          tc "provisioning" `Quick test_portal_provisioning
+        ] );
+      ( "extensions",
+        [ tc "remote peering" `Quick test_remote_peering;
+          tc "route server to mux" `Quick test_route_server_to_mux_integration;
+          tc "monitoring" `Quick test_monitoring;
+          tc "beacon" `Quick test_beacon_schedule;
+          tc "sdx policy composition" `Quick test_sdx_policy_composition;
+          tc "atlas probes" `Quick test_atlas_probes;
+          tc "rov containment" `Quick test_rov_containment;
+          tc "ipv6 allocation" `Quick test_controller_v6
+        ] )
+    ]

@@ -1,0 +1,236 @@
+open Peering_net
+open Peering_measure
+module Rng = Peering_sim.Rng
+module Gen = Peering_topo.Gen
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+let asn = Asn.of_int
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+(* ------------------------------------------------------------------ *)
+(* Dns *)
+
+let test_dns_basic () =
+  let d = Dns.create () in
+  Dns.add_a d "www.example.com" (ip "93.184.216.34");
+  Dns.add_a d "www.example.com" (ip "93.184.216.35");
+  Dns.add_a d "WWW.EXAMPLE.COM" (ip "93.184.216.34") (* duplicate, other case *);
+  check Alcotest.int "two records" 2 (List.length (Dns.resolve d "www.example.com"));
+  check Alcotest.(option string) "first" (Some "93.184.216.34")
+    (Option.map Ipv4.to_string (Dns.resolve_one d "www.Example.Com"));
+  check Alcotest.(list string) "unknown" []
+    (List.map Ipv4.to_string (Dns.resolve d "nope.example"));
+  check Alcotest.int "records" 2 (Dns.n_records d)
+
+(* ------------------------------------------------------------------ *)
+(* Webworkload *)
+
+let world =
+  lazy
+    (Gen.generate
+       { Gen.default_params with
+         Gen.n_stub = 800;
+         n_small_transit = 80;
+         target_prefixes = 6000
+       })
+
+let workload =
+  lazy
+    (let rng = Rng.create 123 in
+     Webworkload.generate
+       ~params:
+         { Webworkload.n_sites = 100;
+           mean_resources = 50.0;
+           n_resource_fqdns = 800;
+           cdn_share = 0.45;
+           site_cdn_share = 0.3
+         }
+       ~rng (Lazy.force world))
+
+let test_workload_shape () =
+  let wl = Lazy.force workload in
+  check Alcotest.int "sites" 100 (List.length wl.Webworkload.sites);
+  let total = Webworkload.total_resources wl in
+  check Alcotest.bool "resources scale with mean" true
+    (total > 2000 && total < 12_000);
+  let fqdns = Webworkload.distinct_resource_fqdns wl in
+  check Alcotest.bool "fqdns below pool size" true (List.length fqdns <= 800);
+  check Alcotest.bool "fqdn reuse happens" true (List.length fqdns < total)
+
+let test_workload_resolvable () =
+  let wl = Lazy.force workload in
+  (* every site and every resource FQDN resolves, and its address
+     belongs to a prefix originated by its hosting AS *)
+  let g = (Lazy.force world).Gen.graph in
+  List.iter
+    (fun (s : Webworkload.site) ->
+      match Dns.resolve_one wl.Webworkload.dns s.Webworkload.fqdn with
+      | None -> Alcotest.failf "site %s unresolvable" s.Webworkload.fqdn
+      | Some a -> (
+        match Webworkload.hosting_asn wl s.Webworkload.fqdn with
+        | None -> Alcotest.fail "no hosting AS"
+        | Some h ->
+          let inside =
+            List.exists
+              (fun p -> Prefix.mem a p)
+              (Peering_topo.As_graph.prefixes_of g h)
+          in
+          check Alcotest.bool "address inside hosting AS" true inside))
+    wl.Webworkload.sites
+
+let test_workload_cdn_concentration () =
+  let wl = Lazy.force workload in
+  let w = Lazy.force world in
+  let content = Asn.Set.of_list w.Gen.content in
+  let fqdns = Webworkload.distinct_resource_fqdns wl in
+  let on_cdn =
+    List.length
+      (List.filter
+         (fun f ->
+           match Webworkload.hosting_asn wl f with
+           | Some h -> Asn.Set.mem h content
+           | None -> false)
+         fqdns)
+  in
+  let frac = float_of_int on_cdn /. float_of_int (List.length fqdns) in
+  check Alcotest.bool "cdn share near parameter" true
+    (frac > 0.3 && frac < 0.6)
+
+(* ------------------------------------------------------------------ *)
+(* Collector *)
+
+let test_collector () =
+  let c = Collector.create () in
+  let p = pfx "184.164.224.0/24" in
+  Collector.record c ~time:1.0 ~peer:(asn 3356) ~prefix:p
+    ~path:[ asn 3356; asn 47065 ] Collector.Announce;
+  Collector.record c ~time:2.0 ~peer:(asn 3356) ~prefix:(pfx "10.0.0.0/8")
+    ~path:[ asn 3356 ] Collector.Announce;
+  Collector.record c ~time:3.0 ~peer:(asn 3356) ~prefix:p ~path:[]
+    Collector.Withdraw;
+  check Alcotest.int "entries" 3 (Collector.n_entries c);
+  check Alcotest.int "per prefix" 2 (Collector.churn c p);
+  check Alcotest.bool "withdrawn: no last path" true (Collector.last_path c p = None);
+  Collector.record c ~time:4.0 ~peer:(asn 3356) ~prefix:p
+    ~path:[ asn 3356; asn 47065 ] Collector.Announce;
+  check Alcotest.(option (list int)) "last path" (Some [ 3356; 47065 ])
+    (Option.map (List.map Asn.to_int) (Collector.last_path c p))
+
+(* ------------------------------------------------------------------ *)
+(* Reachability *)
+
+let test_reachability_cones () =
+  (* tiny world: provider 1 with customers 2,3; 3 has customer 4.
+     Peering with 3 yields routes to 3's cone {3,4} only. *)
+  let open Peering_topo in
+  let g = As_graph.create () in
+  List.iter (fun a -> As_graph.add_as g (asn a)) [ 1; 2; 3; 4 ];
+  As_graph.add_edge g (asn 1) Relationship.Customer (asn 2);
+  As_graph.add_edge g (asn 1) Relationship.Customer (asn 3);
+  As_graph.add_edge g (asn 3) Relationship.Customer (asn 4);
+  As_graph.originate g (asn 2) (pfx "10.2.0.0/16");
+  As_graph.originate g (asn 3) (pfx "10.3.0.0/16");
+  As_graph.originate g (asn 4) (pfx "10.4.0.0/16");
+  let world =
+    { Gen.graph = g;
+      tier1 = [ asn 1 ];
+      large_transit = [];
+      small_transit = [ asn 3 ];
+      stubs = [ asn 2; asn 4 ];
+      content = []
+    }
+  in
+  let t = Reachability.peer_routes world ~peers:[ asn 3 ] in
+  check Alcotest.int "cone prefixes" 2 (Reachability.n_prefixes t);
+  check Alcotest.bool "covers customer" true
+    (Reachability.covers_addr t (ip "10.4.1.1"));
+  check Alcotest.bool "not sibling" false
+    (Reachability.covers_addr t (ip "10.2.1.1"));
+  check Alcotest.bool "covers prefix" true
+    (Reachability.covers_prefix t (pfx "10.3.0.0/16"));
+  check Alcotest.int "top-2 membership" 1
+    (Reachability.peers_in_top world ~peers:[ asn 3; asn 4 ] 2);
+  let per_peer = Reachability.routes_per_peer world ~peers:[ asn 3; asn 4 ] in
+  check Alcotest.(list (pair int int)) "descending route counts"
+    [ (3, 2); (4, 1) ]
+    (List.map (fun (a, n) -> (Asn.to_int a, n)) per_peer)
+
+let test_reachability_fraction () =
+  let w = Lazy.force world in
+  (* peering with every tier-1 covers (almost) the whole Internet *)
+  let t = Reachability.peer_routes w ~peers:w.Gen.tier1 in
+  let frac = Reachability.fraction_of_internet t w in
+  check Alcotest.bool "tier1 cones cover most" true (frac > 0.9);
+  (* peering with a handful of stubs covers almost nothing *)
+  let stubs = List.filteri (fun i _ -> i < 5) w.Gen.stubs in
+  let t2 = Reachability.peer_routes w ~peers:stubs in
+  check Alcotest.bool "stub cones tiny" true
+    (Reachability.fraction_of_internet t2 w < 0.02)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basics () =
+  let l = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check Alcotest.(float 1e-9) "mean" 3.0 (Stats.mean l);
+  check Alcotest.(float 1e-9) "median" 3.0 (Stats.median l);
+  check Alcotest.(float 1e-9) "p0" 1.0 (Stats.percentile 0.0 l);
+  check Alcotest.(float 1e-9) "p100" 5.0 (Stats.percentile 100.0 l);
+  check Alcotest.(float 1e-9) "p25 interpolates" 2.0 (Stats.percentile 25.0 l);
+  check Alcotest.(float 1e-6) "stddev" (sqrt 2.0) (Stats.stddev l);
+  check Alcotest.(float 1e-9) "mean empty" 0.0 (Stats.mean []);
+  check Alcotest.bool "summary mentions n" true
+    (String.length (Stats.summary l) > 0)
+
+let test_stats_histogram () =
+  let l = [ 0.0; 0.1; 0.2; 5.0; 9.9; 10.0 ] in
+  let h = Stats.histogram ~bins:2 l in
+  check Alcotest.int "two bins" 2 (List.length h);
+  let total = List.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
+  check Alcotest.int "all samples binned" 6 total;
+  match h with
+  | [ (_, _, c1); (_, _, c2) ] ->
+    (* bins are [0,5) and [5,10]: 5.0 lands in the upper bin *)
+    check Alcotest.int "low bin" 3 c1;
+    check Alcotest.int "high bin" 3 c2
+  | _ -> Alcotest.fail "bin shape"
+
+let test_stats_cdf () =
+  let pts = Stats.cdf_points [ 3.0; 1.0; 2.0; 2.0 ] in
+  check
+    Alcotest.(list (pair (float 1e-9) (float 1e-9)))
+    "cdf"
+    [ (1.0, 0.25); (2.0, 0.75); (3.0, 1.0) ]
+    pts
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone in p" ~count:200
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 1000.0))
+              (pair (int_bound 100) (int_bound 100)))
+    (fun (l, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Stats.percentile (float_of_int lo) l
+      <= Stats.percentile (float_of_int hi) l +. 1e-9)
+
+let () =
+  Alcotest.run "measure"
+    [ ("dns", [ tc "basic" `Quick test_dns_basic ]);
+      ( "webworkload",
+        [ tc "shape" `Quick test_workload_shape;
+          tc "resolvable" `Quick test_workload_resolvable;
+          tc "cdn concentration" `Quick test_workload_cdn_concentration
+        ] );
+      ("collector", [ tc "log" `Quick test_collector ]);
+      ( "reachability",
+        [ tc "cones" `Quick test_reachability_cones;
+          tc "fraction" `Quick test_reachability_fraction
+        ] );
+      ( "stats",
+        [ tc "basics" `Quick test_stats_basics;
+          tc "histogram" `Quick test_stats_histogram;
+          tc "cdf" `Quick test_stats_cdf;
+          QCheck_alcotest.to_alcotest prop_percentile_monotone
+        ] )
+    ]
