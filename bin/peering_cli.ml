@@ -8,7 +8,8 @@
      table1     print the paper's testbed-capability matrix
      demo       run a one-shot announce/withdraw experiment
      emulate    emulate a Topology Zoo backbone and converge it
-     config     parse a Quagga-style configuration file and report *)
+     config     parse a Quagga-style configuration file and report
+     check      statically analyze configs and experiment specs *)
 
 open Cmdliner
 open Peering_net
@@ -187,6 +188,88 @@ let config_cmd =
   Cmd.v (Cmd.info "config" ~doc:"Parse and check a router configuration")
     Term.(const run $ file_arg)
 
+let check_cmd =
+  let files_arg =
+    let doc =
+      "Files to analyze. Files ending in .exp are parsed as experiment \
+       specs; everything else as Quagga-style router configurations. \
+       Configurations are also checked against each other (session \
+       consistency)."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let codes_arg =
+    let doc = "List the diagnostic codes and exit." in
+    Arg.(value & flag & info [ "codes" ] ~doc)
+  in
+  let read file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  in
+  let module Check = Peering_check.Check in
+  let module Diagnostic = Peering_check.Diagnostic in
+  let run codes files =
+    if codes then begin
+      List.iter
+        (fun (code, sev, about) ->
+          Printf.printf "%-16s %-8s %s\n" code
+            (Diagnostic.severity_to_string sev)
+            about)
+        Check.codes;
+      exit 0
+    end;
+    if files = [] then begin
+      prerr_endline "check: no files given (try --codes)";
+      exit 2
+    end;
+    let parse_failures = ref [] in
+    let configs = ref [] and specs = ref [] in
+    List.iter
+      (fun file ->
+        let text = read file in
+        if Filename.check_suffix file ".exp" then
+          match Peering_check.Spec.parse text with
+          | Ok s -> specs := (file, s) :: !specs
+          | Error e ->
+            parse_failures :=
+              Diagnostic.error ~file ~code:"PARSE" e :: !parse_failures
+        else
+          match Peering_router.Config.parse text with
+          | Ok c -> configs := (Some file, c) :: !configs
+          | Error e ->
+            parse_failures :=
+              Diagnostic.error ~file ~code:"PARSE" e :: !parse_failures)
+      files;
+    let diags =
+      List.rev !parse_failures
+      @ Check.check_configs (List.rev !configs)
+      @ List.concat_map
+          (fun (file, s) -> Check.check_spec ~file s)
+          (List.rev !specs)
+    in
+    let diags = Diagnostic.sort diags in
+    List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+    let errors = Diagnostic.count Diagnostic.Error diags in
+    let warnings = Diagnostic.count Diagnostic.Warning diags in
+    Printf.printf "%d file%s checked: %d error%s, %d warning%s\n"
+      (List.length files)
+      (if List.length files = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s");
+    exit (if errors > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically analyze router configurations and experiment specs \
+          (rcc-style); exit 1 if any error-severity diagnostic fires")
+    Term.(const run $ codes_arg $ files_arg)
+
 let portal_cmd =
   let run seed =
     let params = { Testbed.default_params with Testbed.seed } in
@@ -237,4 +320,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
-            config_cmd; portal_cmd ]))
+            config_cmd; check_cmd; portal_cmd ]))

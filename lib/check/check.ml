@@ -1,0 +1,120 @@
+open Peering_router
+
+let config_registry : Config.t Registry.t = Registry.create ()
+
+let cross_config_registry : (string option * Config.t) list Registry.t =
+  Registry.create ()
+
+let policy_registry : Policy_checks.input Registry.t = Registry.create ()
+let spec_registry : Spec.t Registry.t = Registry.create ()
+
+let () =
+  let r = Registry.register config_registry in
+  r ~name:"no-bgp" ~about:"configuration has a router bgp block"
+    Config_checks.no_bgp;
+  r ~name:"rtmap-undef" ~about:"neighbors reference defined route-maps"
+    Config_checks.undefined_route_maps;
+  r ~name:"rtmap-unused" ~about:"every route-map is attached somewhere"
+    Config_checks.unused_route_maps;
+  r ~name:"rtmap-shadow" ~about:"route-map entries are reachable"
+    Config_checks.shadowed_map_entries;
+  r ~name:"pfxlist-undef" ~about:"matches reference defined prefix-lists"
+    Config_checks.undefined_prefix_lists;
+  r ~name:"pfxlist-unused" ~about:"every prefix-list is matched somewhere"
+    Config_checks.unused_prefix_lists;
+  r ~name:"pfxlist-shadow" ~about:"prefix-list rules are reachable"
+    Config_checks.shadowed_prefix_rules;
+  r ~name:"pfxlist-bounds" ~about:"ge/le windows are satisfiable"
+    Config_checks.impossible_bounds;
+  r ~name:"net-dup" ~about:"networks are declared once"
+    Config_checks.duplicate_networks;
+  r ~name:"nbr-nopolicy" ~about:"neighbors have policy attached"
+    Config_checks.neighbors_without_policy;
+  Registry.register cross_config_registry ~name:"sessions"
+    ~about:"paired configs agree on remote-as and addresses"
+    Config_checks.sessions;
+  let p = Registry.register policy_registry in
+  p ~name:"unsat" ~about:"entry conditions are satisfiable"
+    Policy_checks.unsatisfiable_entries;
+  p ~name:"dead" ~about:"entries are not shadowed by earlier catch-alls"
+    Policy_checks.dead_entries;
+  p ~name:"leak" ~about:"no permit-all exports towards providers/peers"
+    Policy_checks.export_leaks;
+  let s = Registry.register spec_registry in
+  s ~name:"hijack" ~about:"announced prefixes are inside the allocation"
+    Experiment_checks.hijacks;
+  s ~name:"poison" ~about:"path suffixes respect poisoning approval"
+    (fun spec -> Experiment_checks.poisonings spec);
+  s ~name:"dampen" ~about:"the schedule does not trip RFC 2439 dampening"
+    (fun spec -> Experiment_checks.dampening spec)
+
+let stamp file diags =
+  match file with
+  | None -> diags
+  | Some f -> List.map (Diagnostic.with_file f) diags
+
+let check_config ?file cfg =
+  Diagnostic.sort (stamp file (Registry.run config_registry cfg))
+
+let check_configs configs =
+  let per =
+    List.concat_map
+      (fun (file, cfg) -> stamp file (Registry.run config_registry cfg))
+      configs
+  in
+  let cross = Registry.run cross_config_registry configs in
+  Diagnostic.sort (per @ cross)
+
+let check_policy ?name ?relationship policy =
+  Diagnostic.sort
+    (Registry.run policy_registry
+       (Policy_checks.input ?name ?relationship policy))
+
+let check_spec ?file spec =
+  Diagnostic.sort (stamp file (Registry.run spec_registry spec))
+
+let check_experiment experiment events =
+  check_spec (Spec.of_experiment experiment events)
+
+let codes =
+  [ ("RTR-NOBGP", Diagnostic.Error, "no router bgp block");
+    ("RTMAP-UNDEF", Diagnostic.Error, "reference to an undefined route-map");
+    ("RTMAP-UNUSED", Diagnostic.Warning, "route-map defined but never used");
+    ("RTMAP-SHADOW", Diagnostic.Warning, "unreachable route-map entry");
+    ( "PFXLIST-UNDEF",
+      Diagnostic.Error,
+      "reference to an undefined prefix-list" );
+    ( "PFXLIST-UNUSED",
+      Diagnostic.Warning,
+      "prefix-list defined but never used" );
+    ("PFXLIST-SHADOW", Diagnostic.Warning, "unreachable prefix-list rule");
+    ( "PFXLIST-BOUNDS",
+      Diagnostic.Error,
+      "ge/le bounds that can never match" );
+    ("NET-DUP", Diagnostic.Warning, "network declared twice");
+    ( "NBR-NOPOLICY",
+      Diagnostic.Warning,
+      "neighbor without route-maps in either direction" );
+    ( "SESSION-MISMATCH",
+      Diagnostic.Error,
+      "paired configs disagree on remote-as or addresses" );
+    ( "POLICY-UNSAT",
+      Diagnostic.Warning,
+      "policy entry with unsatisfiable conditions" );
+    ( "POLICY-DEAD",
+      Diagnostic.Warning,
+      "policy entry shadowed by an earlier catch-all" );
+    ( "POLICY-LEAK",
+      Diagnostic.Error,
+      "permit-all export towards a provider or peer (route leak)" );
+    ( "EXP-HIJACK",
+      Diagnostic.Error,
+      "announcement outside the experiment's allocation" );
+    ( "EXP-POISON",
+      Diagnostic.Error,
+      "public ASN in path suffix without poisoning approval" );
+    ( "EXP-DAMPEN",
+      Diagnostic.Error,
+      "schedule would trip RFC 2439 route-flap dampening" );
+    ("PARSE", Diagnostic.Error, "file failed to parse")
+  ]

@@ -1,0 +1,44 @@
+(** The analyzer driver: default pass registries and one-call entry
+    points.
+
+    [Peering_check] is an rcc-style static analyzer (Feamster &
+    Balakrishnan, NSDI'05) for the PEERING testbed: it vets router
+    configurations, compiled policies and experiment schedules before
+    they touch the mux, so a config that passes [check] instantiates
+    without error and an experiment that passes [check] is not refused
+    by the runtime {!Peering_core.Safety} filters for a statically
+    predictable reason.
+
+    The registries are pluggable: call {!Registry.register} on them to
+    add project-specific passes; every entry point below consults the
+    registry at call time. *)
+
+open Peering_bgp
+open Peering_router
+open Peering_topo
+
+val config_registry : Config.t Registry.t
+val cross_config_registry : (string option * Config.t) list Registry.t
+val policy_registry : Policy_checks.input Registry.t
+val spec_registry : Spec.t Registry.t
+
+val check_config : ?file:string -> Config.t -> Diagnostic.t list
+(** Run every per-config pass. [file] is stamped onto the
+    diagnostics. *)
+
+val check_configs : (string option * Config.t) list -> Diagnostic.t list
+(** Per-config passes on each input plus cross-config passes (session
+    consistency) over the whole set. *)
+
+val check_policy :
+  ?name:string -> ?relationship:Relationship.t -> Policy.t -> Diagnostic.t list
+
+val check_spec : ?file:string -> Spec.t -> Diagnostic.t list
+
+val check_experiment :
+  Peering_core.Experiment.t -> Spec.event list -> Diagnostic.t list
+(** Vet a programmatic experiment plus its planned schedule. *)
+
+val codes : (string * Diagnostic.severity * string) list
+(** The diagnostic catalog: code, default severity, one-line
+    description. *)

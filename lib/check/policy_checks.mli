@@ -1,0 +1,37 @@
+(** Static analysis over compiled {!Peering_bgp.Policy} values.
+
+    Codes emitted here:
+    - [POLICY-UNSAT] (warning): an entry's condition set is
+      unsatisfiable (e.g. [All [c; Not c]], disjoint prefix ranges) so
+      the entry can never fire
+    - [POLICY-DEAD] (warning): an entry is shadowed by an earlier
+      catch-all (or identical) entry
+    - [POLICY-LEAK] (error): a permit-all export policy on a session
+      towards a provider or peer — a Gao-Rexford valley that would
+      leak provider/peer-learned routes *)
+
+open Peering_bgp
+open Peering_topo
+
+type input = {
+  pol_name : string option;  (** for messages, e.g. the route-map name *)
+  pol_relationship : Relationship.t option;
+      (** our relationship to the session's remote AS, if known: the
+          remote is our [Customer], [Peer] or [Provider] *)
+  policy : Policy.t;
+}
+
+val input :
+  ?name:string -> ?relationship:Relationship.t -> Policy.t -> input
+
+val cond_unsat : Policy.cond -> bool
+(** Conservative: [true] only if the condition provably matches no
+    route. *)
+
+val cond_taut : Policy.cond -> bool
+(** Conservative: [true] only if the condition provably matches every
+    route. *)
+
+val unsatisfiable_entries : input -> Diagnostic.t list
+val dead_entries : input -> Diagnostic.t list
+val export_leaks : input -> Diagnostic.t list

@@ -1,0 +1,29 @@
+type 'a pass = {
+  name : string;
+  about : string;
+  run : 'a -> Diagnostic.t list;
+}
+
+type 'a t = { mutable passes : 'a pass list (* reversed *) }
+
+let create () = { passes = [] }
+
+let register t ~name ~about run =
+  let p = { name; about; run } in
+  if List.exists (fun q -> q.name = name) t.passes then
+    t.passes <-
+      List.map (fun q -> if q.name = name then p else q) t.passes
+  else t.passes <- p :: t.passes
+
+let in_order t = List.rev t.passes
+
+let passes t = List.map (fun p -> (p.name, p.about)) (in_order t)
+
+let run ?only ?exclude t x =
+  let selected p =
+    (match only with None -> true | Some l -> List.mem p.name l)
+    && match exclude with None -> true | Some l -> not (List.mem p.name l)
+  in
+  List.concat_map
+    (fun p -> if selected p then p.run x else [])
+    (in_order t)

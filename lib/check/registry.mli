@@ -1,0 +1,26 @@
+(** A pluggable registry of analyzer passes.
+
+    A pass is a named function from an input (a parsed config, a
+    compiled policy, an experiment spec, ...) to a list of
+    diagnostics. Registries keep passes in registration order;
+    registering a name twice replaces the earlier pass in place, so
+    downstream users can override a built-in pass without disturbing
+    the run order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val register :
+  'a t -> name:string -> about:string -> ('a -> Diagnostic.t list) -> unit
+(** Add (or replace) a pass. [about] is a one-line description used in
+    listings. *)
+
+val passes : 'a t -> (string * string) list
+(** [(name, about)] in run order. *)
+
+val run :
+  ?only:string list -> ?exclude:string list -> 'a t -> 'a -> Diagnostic.t list
+(** Run every registered pass over the input and concatenate the
+    diagnostics. [only] restricts to the named passes; [exclude] skips
+    the named passes. *)

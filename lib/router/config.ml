@@ -6,12 +6,14 @@ type neighbor_config = {
   remote_as : Asn.t;
   route_map_in : string option;
   route_map_out : string option;
+  nbr_line : int;
 }
 
 type bgp_config = {
   asn : Asn.t;
   router_id : Ipv4.t option;
   networks : Prefix.t list;
+  network_lines : (Prefix.t * int) list;
   neighbors : neighbor_config list;
 }
 
@@ -21,6 +23,7 @@ type prefix_rule = {
   pl_prefix : Prefix.t;
   pl_ge : int option;
   pl_le : int option;
+  pl_line : int;
 }
 
 type map_match =
@@ -31,13 +34,14 @@ type map_match =
 type map_set =
   | S_local_pref of int
   | S_metric of int
-  | S_community of Community.t
+  | S_community of Community.t * bool  (* additive? *)
   | S_prepend of Asn.t * int
   | S_next_hop of Ipv4.t
 
 type map_entry = {
   rm_seq : int;
   rm_permit : bool;
+  rm_line : int;
   mutable rm_matches : map_match list;
   mutable rm_sets : map_set list;
 }
@@ -83,14 +87,16 @@ type context =
   | In_bgp
   | In_route_map of string * map_entry
 
+(* Lists in the builder are accumulated newest-first (cons) and
+   reversed once at the end of the parse, keeping the builder O(n). *)
 type builder = {
   mutable ctx : context;
   mutable b_asn : Asn.t option;
   mutable b_router_id : Ipv4.t option;
-  mutable b_networks : Prefix.t list;
-  mutable b_neighbors : neighbor_config list;
-  b_prefix_lists : (string, prefix_rule list) Hashtbl.t;
-  b_route_maps : (string, map_entry list) Hashtbl.t;
+  mutable b_networks : (Prefix.t * int) list;  (* reversed *)
+  mutable b_neighbors : neighbor_config list;  (* reversed *)
+  b_prefix_lists : (string, prefix_rule list) Hashtbl.t;  (* reversed *)
+  b_route_maps : (string, map_entry list) Hashtbl.t;  (* reversed *)
 }
 
 let update_neighbor b line addr f =
@@ -110,18 +116,19 @@ let handle_bgp_line b lineno toks =
   match toks with
   | [ "bgp"; "router-id"; ip ] -> b.b_router_id <- Some (parse_ip lineno ip)
   | [ "network"; pfx ] ->
-    b.b_networks <- b.b_networks @ [ parse_prefix lineno pfx ]
+    b.b_networks <- (parse_prefix lineno pfx, lineno) :: b.b_networks
   | [ "neighbor"; ip; "remote-as"; asn ] ->
     let addr = parse_ip lineno ip in
     if List.exists (fun n -> Ipv4.equal n.addr addr) b.b_neighbors then
       fail lineno "duplicate neighbor";
     b.b_neighbors <-
-      b.b_neighbors
-      @ [ { addr;
-            remote_as = parse_asn lineno asn;
-            route_map_in = None;
-            route_map_out = None
-          } ]
+      { addr;
+        remote_as = parse_asn lineno asn;
+        route_map_in = None;
+        route_map_out = None;
+        nbr_line = lineno
+      }
+      :: b.b_neighbors
   | [ "neighbor"; ip; "route-map"; name; dir ] ->
     let addr = parse_ip lineno ip in
     (match dir with
@@ -135,24 +142,25 @@ let handle_bgp_line b lineno toks =
 let handle_map_line entry lineno toks =
   match toks with
   | [ "match"; "ip"; "address"; "prefix-list"; name ] ->
-    entry.rm_matches <- entry.rm_matches @ [ M_prefix_list name ]
+    entry.rm_matches <- M_prefix_list name :: entry.rm_matches
   | [ "match"; "community"; c ] ->
-    entry.rm_matches <-
-      entry.rm_matches @ [ M_community (parse_community lineno c) ]
+    entry.rm_matches <- M_community (parse_community lineno c) :: entry.rm_matches
   | [ "match"; "as-path-contains"; a ] ->
     entry.rm_matches <-
-      entry.rm_matches @ [ M_as_path_contains (parse_asn lineno a) ]
+      M_as_path_contains (parse_asn lineno a) :: entry.rm_matches
   | [ "set"; "local-preference"; n ] ->
-    entry.rm_sets <- entry.rm_sets @ [ S_local_pref (parse_int lineno n) ]
+    entry.rm_sets <- S_local_pref (parse_int lineno n) :: entry.rm_sets
   | [ "set"; "metric"; n ] ->
-    entry.rm_sets <- entry.rm_sets @ [ S_metric (parse_int lineno n) ]
-  | [ "set"; "community"; c ] | [ "set"; "community"; c; "additive" ] ->
-    entry.rm_sets <- entry.rm_sets @ [ S_community (parse_community lineno c) ]
+    entry.rm_sets <- S_metric (parse_int lineno n) :: entry.rm_sets
+  | [ "set"; "community"; c ] ->
+    entry.rm_sets <- S_community (parse_community lineno c, false) :: entry.rm_sets
+  | [ "set"; "community"; c; "additive" ] ->
+    entry.rm_sets <- S_community (parse_community lineno c, true) :: entry.rm_sets
   | [ "set"; "as-path"; "prepend"; a; n ] ->
     entry.rm_sets <-
-      entry.rm_sets @ [ S_prepend (parse_asn lineno a, parse_int lineno n) ]
+      S_prepend (parse_asn lineno a, parse_int lineno n) :: entry.rm_sets
   | [ "set"; "next-hop"; ip ] ->
-    entry.rm_sets <- entry.rm_sets @ [ S_next_hop (parse_ip lineno ip) ]
+    entry.rm_sets <- S_next_hop (parse_ip lineno ip) :: entry.rm_sets
   | _ -> fail lineno "unknown statement in route-map block"
 
 let handle_top_line b lineno toks =
@@ -180,13 +188,14 @@ let handle_top_line b lineno toks =
         pl_permit;
         pl_prefix = parse_prefix lineno pfx;
         pl_ge;
-        pl_le
+        pl_le;
+        pl_line = lineno
       }
     in
     let existing =
       Option.value (Hashtbl.find_opt b.b_prefix_lists name) ~default:[]
     in
-    Hashtbl.replace b.b_prefix_lists name (existing @ [ rule ])
+    Hashtbl.replace b.b_prefix_lists name (rule :: existing)
   | [ "route-map"; name; action; seq ] ->
     let rm_permit =
       match action with
@@ -195,14 +204,19 @@ let handle_top_line b lineno toks =
       | _ -> fail lineno "route-map action must be permit|deny"
     in
     let entry =
-      { rm_seq = parse_int lineno seq; rm_permit; rm_matches = []; rm_sets = [] }
+      { rm_seq = parse_int lineno seq;
+        rm_permit;
+        rm_line = lineno;
+        rm_matches = [];
+        rm_sets = []
+      }
     in
     let existing =
       Option.value (Hashtbl.find_opt b.b_route_maps name) ~default:[]
     in
     if List.exists (fun e -> e.rm_seq = entry.rm_seq) existing then
       fail lineno "duplicate route-map sequence";
-    Hashtbl.replace b.b_route_maps name (existing @ [ entry ]);
+    Hashtbl.replace b.b_route_maps name (entry :: existing);
     b.ctx <- In_route_map (name, entry)
   | _ -> fail lineno "unknown top-level statement"
 
@@ -242,13 +256,28 @@ let parse text =
             b.ctx <- Top;
             handle_top_line b lineno toks)
       (String.split_on_char '\n' text);
+    (* Un-reverse every accumulated list back into source order. *)
+    Hashtbl.filter_map_inplace
+      (fun _ rules -> Some (List.rev rules))
+      b.b_prefix_lists;
+    Hashtbl.filter_map_inplace
+      (fun _ entries ->
+        List.iter
+          (fun e ->
+            e.rm_matches <- List.rev e.rm_matches;
+            e.rm_sets <- List.rev e.rm_sets)
+          entries;
+        Some (List.rev entries))
+      b.b_route_maps;
     let bgp =
       Option.map
         (fun asn ->
+          let network_lines = List.rev b.b_networks in
           { asn;
             router_id = b.b_router_id;
-            networks = b.b_networks;
-            neighbors = b.b_neighbors
+            networks = List.map fst network_lines;
+            network_lines;
+            neighbors = List.rev b.b_neighbors
           })
         b.b_asn
     in
@@ -267,19 +296,40 @@ let route_map_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.route_maps []
   |> List.sort String.compare
 
+let prefix_list_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.prefix_lists []
+  |> List.sort String.compare
+
+let route_map t name = Hashtbl.find_opt t.route_maps name
+let prefix_list t name = Hashtbl.find_opt t.prefix_lists name
+
+let route_maps t =
+  List.map (fun n -> (n, Hashtbl.find t.route_maps n)) (route_map_names t)
+
+let prefix_lists t =
+  List.map (fun n -> (n, Hashtbl.find t.prefix_lists n)) (prefix_list_names t)
+
 let compile_cond t = function
   | M_prefix_list name -> (
     match Hashtbl.find_opt t.prefix_lists name with
     | None -> Error (Printf.sprintf "undefined prefix-list %s" name)
     | Some rules ->
-      (* Encode permit rules positively; deny rules as negated Any.
-         Quagga semantics: first matching seq decides. We approximate
-         with: match iff the first matching rule is a permit. For the
-         common all-permit case this is exact. *)
+      (* Quagga semantics: first matching seq decides; no match denies.
+         The encoding below is exact: a permit rule becomes
+         [Any [here; rest]] (match now, or fall through) and a deny
+         rule becomes [All [Not here; rest]] (must not match now, and
+         must match a later permit). *)
       let sorted = List.sort (fun a b -> Int.compare a.pl_seq b.pl_seq) rules in
       let to_triple r =
+        (* Quagga defaults: no ge/le is an exact-length match; ge alone
+           opens the window up to /32. *)
         let ge = Option.value r.pl_ge ~default:(Prefix.len r.pl_prefix) in
-        let le = Option.value r.pl_le ~default:(Prefix.len r.pl_prefix) in
+        let le =
+          match (r.pl_le, r.pl_ge) with
+          | Some l, _ -> l
+          | None, Some _ -> 32
+          | None, None -> Prefix.len r.pl_prefix
+        in
         (r.pl_prefix, ge, le)
       in
       let rec build = function
@@ -294,11 +344,14 @@ let compile_cond t = function
   | M_as_path_contains a -> Ok (Policy.Path_contains a)
 
 let compile_set = function
-  | S_local_pref n -> Policy.Set_local_pref n
-  | S_metric n -> Policy.Set_med (Some n)
-  | S_community c -> Policy.Add_community c
-  | S_prepend (a, n) -> Policy.Prepend (a, n)
-  | S_next_hop ip -> Policy.Set_next_hop ip
+  | S_local_pref n -> [ Policy.Set_local_pref n ]
+  | S_metric n -> [ Policy.Set_med (Some n) ]
+  | S_community (c, true) -> [ Policy.Add_community c ]
+  | S_community (c, false) ->
+    (* Non-additive set replaces the attribute outright. *)
+    [ Policy.Clear_communities; Policy.Add_community c ]
+  | S_prepend (a, n) -> [ Policy.Prepend (a, n) ]
+  | S_next_hop ip -> [ Policy.Set_next_hop ip ]
 
 let compile_route_map t name =
   match Hashtbl.find_opt t.route_maps name with
@@ -323,7 +376,7 @@ let compile_route_map t name =
             { Policy.seq = e.rm_seq;
               decision = (if e.rm_permit then Policy.Permit else Policy.Deny);
               conds = List.rev conds;
-              actions = List.map compile_set e.rm_sets
+              actions = List.concat_map compile_set e.rm_sets
             }
           in
           build (entry :: acc) rest)

@@ -18,10 +18,13 @@ route-map <name> permit|deny <seq>
  match as-path-contains <asn>
  set local-preference <n>
  set metric <n>
- set community <asn>:<value>
+ set community <asn>:<value> [additive]
  set as-path prepend <asn> <count>
  set next-hop <ip>
-    v} *)
+    v}
+
+    The parsed representation keeps source line numbers so static
+    analysis ({!Peering_check}) can report locations. *)
 
 open Peering_net
 open Peering_bgp
@@ -31,13 +34,47 @@ type neighbor_config = {
   remote_as : Asn.t;
   route_map_in : string option;
   route_map_out : string option;
+  nbr_line : int;  (** line of the [remote-as] declaration *)
 }
 
 type bgp_config = {
   asn : Asn.t;
   router_id : Ipv4.t option;
   networks : Prefix.t list;
+  network_lines : (Prefix.t * int) list;
+      (** [networks] paired with their declaration lines *)
   neighbors : neighbor_config list;
+}
+
+type prefix_rule = {
+  pl_seq : int;
+  pl_permit : bool;
+  pl_prefix : Prefix.t;
+  pl_ge : int option;
+  pl_le : int option;
+  pl_line : int;
+}
+
+type map_match =
+  | M_prefix_list of string
+  | M_community of Community.t
+  | M_as_path_contains of Asn.t
+
+type map_set =
+  | S_local_pref of int
+  | S_metric of int
+  | S_community of Community.t * bool
+      (** [S_community (c, additive)]: non-additive replaces the
+          community list, additive appends *)
+  | S_prepend of Asn.t * int
+  | S_next_hop of Ipv4.t
+
+type map_entry = {
+  rm_seq : int;
+  rm_permit : bool;
+  rm_line : int;
+  mutable rm_matches : map_match list;
+  mutable rm_sets : map_set list;
 }
 
 type t
@@ -50,6 +87,19 @@ val parse_exn : string -> t
 val bgp : t -> bgp_config option
 
 val route_map_names : t -> string list
+val prefix_list_names : t -> string list
+
+val route_map : t -> string -> map_entry list option
+(** Entries in source order. *)
+
+val prefix_list : t -> string -> prefix_rule list option
+(** Rules in source order. *)
+
+val route_maps : t -> (string * map_entry list) list
+(** All route-maps, sorted by name. *)
+
+val prefix_lists : t -> (string * prefix_rule list) list
+(** All prefix-lists, sorted by name. *)
 
 val compile_route_map : t -> string -> (Policy.t, string) result
 (** Compile the named route-map (resolving prefix-list references)

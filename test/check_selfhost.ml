@@ -1,0 +1,51 @@
+(* Self-hosting gate for the analyzer: runs every pass over the repo's
+   own config fixtures and example experiment specs. Any diagnostic at
+   all fails the build — a finding here is a regression either in the
+   fixture or in the analyzer itself (false positive). *)
+
+open Peering_check
+
+let read file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "check_selfhost: no files given";
+    exit 2
+  end;
+  let configs = ref [] and specs = ref [] in
+  List.iter
+    (fun file ->
+      let text = read file in
+      if Filename.check_suffix file ".exp" then
+        match Spec.parse text with
+        | Ok s -> specs := (file, s) :: !specs
+        | Error e ->
+          Printf.eprintf "check_selfhost: %s: parse error: %s\n" file e;
+          exit 2
+      else
+        match Peering_router.Config.parse text with
+        | Ok c -> configs := (Some file, c) :: !configs
+        | Error e ->
+          Printf.eprintf "check_selfhost: %s: parse error: %s\n" file e;
+          exit 2)
+    files;
+  let diags =
+    Check.check_configs (List.rev !configs)
+    @ List.concat_map
+        (fun (file, s) -> Check.check_spec ~file s)
+        (List.rev !specs)
+  in
+  List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+  if diags <> [] then begin
+    Printf.eprintf
+      "check_selfhost: %d diagnostic(s) on supposedly-clean fixtures\n"
+      (List.length diags);
+    exit 1
+  end;
+  Printf.printf "check_selfhost: %d file(s) clean\n" (List.length files)

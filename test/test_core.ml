@@ -222,6 +222,81 @@ let test_safety_dampening () =
       (Safety.suppressed_until s ~now:3.0 ~client:"flappy" p <> None)
   | _ -> Alcotest.fail "flapping client not dampened"
 
+let test_safety_dampened_while_registered () =
+  (* check_announce ordering: the registration conflict is reported
+     before dampening, and dampening never blocks the registrant. *)
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  let p = pfx "184.164.224.0/24" in
+  let announce client now =
+    Safety.check_announce s ~now ~client ~experiment:exp ~prefix:p
+      ~path_suffix:[]
+  in
+  (match announce "c1" 0.0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "c1 blocked: %s" (Safety.reason_to_string e));
+  (* c2 flaps its own dampening state; c1's registration is untouched *)
+  Safety.note_withdraw s ~now:1.0 ~client:"c2" ~prefix:p;
+  Safety.note_withdraw s ~now:1.5 ~client:"c2" ~prefix:p;
+  Safety.note_withdraw s ~now:2.0 ~client:"c2" ~prefix:p;
+  check Alcotest.(option string) "c1 still registered" (Some "c1")
+    (Safety.announced_by s p);
+  check Alcotest.bool "c2 is suppressed" true
+    (Safety.suppressed_until s ~now:2.5 ~client:"c2" p <> None);
+  (* c2 is both dampened and conflicting; the conflict must win *)
+  (match announce "c2" 2.5 with
+  | Error Safety.Announced_by_other_experiment -> ()
+  | Error e -> Alcotest.failf "wrong reason: %s" (Safety.reason_to_string e)
+  | Ok () -> Alcotest.fail "conflicting announcement permitted");
+  (* the registrant itself carries no penalty and may re-announce *)
+  match announce "c1" 2.5 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "registrant blocked: %s" (Safety.reason_to_string e)
+
+let test_safety_announce_after_release () =
+  (* release frees the registration without counting as a flap, but
+     keeps the dampening history accumulated by earlier withdrawals. *)
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  let p = pfx "184.164.224.0/24" in
+  let announce client now =
+    Safety.check_announce s ~now ~client ~experiment:exp ~prefix:p
+      ~path_suffix:[]
+  in
+  (match announce "c1" 0.0 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "c1 blocked: %s" (Safety.reason_to_string e));
+  Safety.release s ~client:"c1" ~prefix:p;
+  check Alcotest.(option string) "released" None (Safety.announced_by s p);
+  (* releasing is not a flap: an immediate re-announce is fine *)
+  (match announce "c1" 0.1 with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "re-announce after release blocked: %s"
+      (Safety.reason_to_string e));
+  Safety.release s ~client:"c1" ~prefix:p;
+  (* another client may claim the prefix once it is released *)
+  (match announce "c2" 1.0 with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "c2 blocked after release: %s" (Safety.reason_to_string e));
+  (* but release does not launder dampening history: flap, release,
+     and the penalty still suppresses the next announcement *)
+  Safety.note_withdraw s ~now:1.5 ~client:"c2" ~prefix:p;
+  (match announce "c2" 1.6 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "second: %s" (Safety.reason_to_string e));
+  Safety.note_withdraw s ~now:2.0 ~client:"c2" ~prefix:p;
+  (match announce "c2" 2.1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "third: %s" (Safety.reason_to_string e));
+  Safety.note_withdraw s ~now:2.4 ~client:"c2" ~prefix:p;
+  Safety.release s ~client:"c2" ~prefix:p;
+  match announce "c2" 2.5 with
+  | Error (Safety.Dampened until) ->
+    check Alcotest.bool "reuse in future" true (until > 2.5)
+  | _ -> Alcotest.fail "dampening history survived release"
+
 (* ------------------------------------------------------------------ *)
 (* Capability (Table 1) *)
 
@@ -967,7 +1042,10 @@ let () =
           tc "isolation" `Quick test_safety_isolation;
           tc "inactive" `Quick test_safety_inactive;
           tc "poisoning permission" `Quick test_safety_poisoning_permission;
-          tc "dampening" `Quick test_safety_dampening
+          tc "dampening" `Quick test_safety_dampening;
+          tc "dampened while registered" `Quick
+            test_safety_dampened_while_registered;
+          tc "announce after release" `Quick test_safety_announce_after_release
         ] );
       ("capability", [ tc "table 1 claims" `Quick test_capability_claims ]);
       ( "testbed",

@@ -294,6 +294,80 @@ let test_config_errors () =
     | Error _ -> true
     | Ok _ -> false)
 
+let test_config_parse_errors () =
+  let err text =
+    match Config.parse text with
+    | Error e -> e
+    | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+  in
+  check Alcotest.string "duplicate neighbor" "line 3: duplicate neighbor"
+    (err
+       "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 \
+        remote-as 3");
+  check Alcotest.string "duplicate route-map seq"
+    "line 2: duplicate route-map sequence"
+    (err "route-map X permit 10\nroute-map X deny 10");
+  check Alcotest.string "bad ge/le options" "line 1: bad prefix-list options"
+    (err "ip prefix-list X seq 5 permit 10.0.0.0/8 ge");
+  check Alcotest.string "unknown ge/le keyword"
+    "line 1: bad prefix-list options"
+    (err "ip prefix-list X seq 5 permit 10.0.0.0/8 upto 24");
+  check Alcotest.string "unknown top-level statement"
+    "line 1: unknown top-level statement" (err "frobnicate the bits");
+  check Alcotest.string "unknown bgp statement"
+    "line 2: unknown statement in router bgp block"
+    (err "router bgp 1\n synchronization");
+  check Alcotest.string "unknown route-map statement"
+    "line 2: unknown statement in route-map block"
+    (err "route-map X permit 10\n set weight 100");
+  check Alcotest.string "second bgp block" "line 2: second router bgp block"
+    (err "router bgp 1\nrouter bgp 2");
+  check Alcotest.string "bad route-map action"
+    "line 1: route-map action must be permit|deny"
+    (err "route-map X allow 10");
+  check Alcotest.string "bad direction"
+    "line 3: route-map direction must be in|out"
+    (err
+       "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 \
+        route-map X both")
+
+let mk_route communities =
+  let attrs =
+    List.fold_left
+      (fun a c -> Attrs.add_community c a)
+      (Attrs.make ~as_path:(As_path.of_asns [ asn 1 ]) ~next_hop:(ip "10.0.0.1") ())
+      communities
+  in
+  Route.make (pfx "184.164.224.0/24") attrs
+
+let test_config_set_community_semantics () =
+  let compile text =
+    match Config.compile_route_map (Config.parse_exn text) "SET" with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let old_c = Community.make 1 100 and new_c = Community.make 65000 1 in
+  (* non-additive: replaces the community list *)
+  let replace = compile "route-map SET permit 10\n set community 65000:1" in
+  (match Policy.apply replace (mk_route [ old_c ]) with
+  | Some r ->
+    check Alcotest.bool "new community present" true
+      (Attrs.has_community new_c r.Route.attrs);
+    check Alcotest.bool "old community replaced" false
+      (Attrs.has_community old_c r.Route.attrs)
+  | None -> Alcotest.fail "replace: denied");
+  (* additive: appends to the community list *)
+  let additive =
+    compile "route-map SET permit 10\n set community 65000:1 additive"
+  in
+  match Policy.apply additive (mk_route [ old_c ]) with
+  | Some r ->
+    check Alcotest.bool "new community added" true
+      (Attrs.has_community new_c r.Route.attrs);
+    check Alcotest.bool "old community kept" true
+      (Attrs.has_community old_c r.Route.attrs)
+  | None -> Alcotest.fail "additive: denied"
+
 let test_config_instantiate () =
   let e = Engine.create () in
   let c = Config.parse_exn sample_config in
@@ -326,6 +400,8 @@ let () =
         [ tc "parse" `Quick test_config_parse;
           tc "compile route-map" `Quick test_config_compile_route_map;
           tc "errors" `Quick test_config_errors;
+          tc "parse error paths" `Quick test_config_parse_errors;
+          tc "set community semantics" `Quick test_config_set_community_semantics;
           tc "instantiate" `Quick test_config_instantiate
         ] )
     ]
