@@ -2,7 +2,8 @@
    (see DESIGN.md's experiment index). Run with no arguments for all
    experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1 a2 a3 a4.
    Pass --bechamel to additionally run microbenchmarks of the core
-   primitives. *)
+   primitives, and --json FILE to also write every paper-vs-measured
+   row plus the metrics snapshot as a machine-readable artifact. *)
 
 open Peering_net
 open Peering_core
@@ -31,7 +32,13 @@ let section title =
 
 let row fmt = Printf.printf fmt
 
+(* With --json, every paper-vs-measured row is also collected here
+   (newest first; the driver drains it after each experiment). *)
+let json_rows : (string * string * string) list ref = ref []
+let collect_rows = ref false
+
 let paper_vs_measured ~label ~paper ~measured =
+  if !collect_rows then json_rows := (label, paper, measured) :: !json_rows;
   Printf.printf "  %-52s paper: %-16s measured: %s\n" label paper measured
 
 (* ------------------------------------------------------------------ *)
@@ -726,8 +733,21 @@ let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("f2", f2); ("e4", e4); ("t1", t1);
     ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6) ]
 
+module Json = Peering_obs.Json
+module Metrics = Peering_obs.Metrics
+module Obs_report = Peering_measure.Obs_report
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec extract_json acc = function
+    | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 2
+    | "--json" :: file :: rest -> (Some file, List.rev_append acc rest)
+    | x :: rest -> extract_json (x :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_file, args = extract_json [] args in
   let want_bechamel = List.mem "--bechamel" args in
   let selected = List.filter (fun a -> a <> "--bechamel") args in
   let to_run =
@@ -743,6 +763,49 @@ let () =
         selected
   in
   Printf.printf "PEERING reproduction benchmark harness\n";
-  List.iter (fun (_, f) -> f ()) to_run;
+  collect_rows := json_file <> None;
+  let collected = ref [] in
+  List.iter
+    (fun (name, f) ->
+      Metrics.reset ();
+      json_rows := [];
+      f ();
+      if !collect_rows then begin
+        let rows =
+          List.rev_map
+            (fun (label, paper, measured) ->
+              Json.Obj
+                [ ("label", Json.String label);
+                  ("paper", Json.String paper);
+                  ("measured", Json.String measured)
+                ])
+            !json_rows
+        in
+        (* Only the deterministic (non-volatile) metrics go into the
+           artifact, so two identically-seeded runs are byte-identical;
+           wall-clock figures stay on the human transcript. *)
+        collected :=
+          Json.Obj
+            [ ("id", Json.String name);
+              ("rows", Json.List rows);
+              ("metrics", Obs_report.to_json ())
+            ]
+          :: !collected
+      end)
+    to_run;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+    let doc =
+      Json.Obj
+        [ ("schema", Json.String "peering-bench/1");
+          ("experiments", Json.List (List.rev !collected))
+        ]
+    in
+    let oc = open_out file in
+    output_string oc (Json.to_string ~indent:2 doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\n[json] wrote %s\n" file);
   if want_bechamel then bechamel ();
   Printf.printf "\ndone.\n"

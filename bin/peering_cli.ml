@@ -9,7 +9,8 @@
      demo       run a one-shot announce/withdraw experiment
      emulate    emulate a Topology Zoo backbone and converge it
      config     parse a Quagga-style configuration file and report
-     check      statically analyze configs and experiment specs *)
+     check      statically analyze configs and experiment specs
+     stats      run an instrumented scenario and dump the metrics *)
 
 open Cmdliner
 open Peering_net
@@ -270,6 +271,112 @@ let check_cmd =
           (rcc-style); exit 1 if any error-severity diagnostic fires")
     Term.(const run $ codes_arg $ files_arg)
 
+let stats_cmd =
+  let json_arg =
+    let doc = "Emit the snapshot as a JSON document instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let module Metrics = Peering_obs.Metrics in
+  let module Json = Peering_obs.Json in
+  let module Trace = Peering_sim.Trace in
+  let module Router = Peering_router.Router in
+  let module Obs_report = Peering_measure.Obs_report in
+  let run seed json =
+    Metrics.reset ();
+    let trace = Trace.create () in
+    (* Scenario 1: the quickstart experiment — controller, safety
+       filter (one accepted announce, one blocked hijack, one
+       withdrawal), route servers, propagation. *)
+    let params = { Testbed.default_params with Testbed.seed } in
+    let t = Testbed.build ~params () in
+    let engine = Testbed.engine t in
+    Trace.attach trace ~clock:(fun () -> Engine.now engine);
+    let experiment =
+      match
+        Testbed.new_experiment t ~id:"stats" ~owner:"cli"
+          ~description:"instrumented scenario for the stats subcommand" ()
+      with
+      | Ok e -> e
+      | Error m -> failwith m
+    in
+    let client = Client.create ~id:"stats-client" ~experiment () in
+    Testbed.connect_client t client ~sites:[ "amsterdam01"; "gatech01" ];
+    let prefix = List.hd experiment.Experiment.prefixes in
+    ignore (Client.announce client prefix);
+    ignore (Client.announce client (Prefix.of_string_exn "8.8.8.0/24"));
+    Client.withdraw client prefix;
+    (* Scenario 2: a wire BGP session between two software routers —
+       FSM transitions, OPEN/KEEPALIVE/UPDATE bytes, decision runs. *)
+    let a1 = Ipv4.of_octets 10 0 0 1 and a2 = Ipv4.of_octets 10 0 0 2 in
+    let r1 = Router.create engine ~asn:(Asn.of_int 65001) ~router_id:a1 () in
+    let r2 = Router.create engine ~asn:(Asn.of_int 65002) ~router_id:a2 () in
+    Router.originate r1 (Prefix.of_string_exn "10.1.0.0/16");
+    Router.originate r2 (Prefix.of_string_exn "10.2.0.0/16");
+    let _session = Router.connect engine (r1, a1) (r2, a2) in
+    Engine.run_for engine 30.0;
+    (* Scenario 3: an IXP route server redistributing one member's
+       announcement to the rest, with a community-filtered delivery. *)
+    let module Route_server = Peering_ixp.Route_server in
+    let rs = Route_server.create () in
+    List.iter (fun m -> Route_server.connect rs (Asn.of_int m)) [ 10; 20; 30 ];
+    let rs_route =
+      Peering_bgp.Route.make
+        (Prefix.of_string_exn "203.0.113.0/24")
+        (Peering_bgp.Attrs.make
+           ~as_path:(Peering_bgp.As_path.of_asns [ Asn.of_int 10 ])
+           ~communities:[ Peering_bgp.Community.make 0 20 ]
+           ~next_hop:(Ipv4.of_octets 192 0 2 1) ())
+    in
+    ignore (Route_server.announce rs ~from:(Asn.of_int 10) rs_route);
+    ignore (Route_server.withdraw rs ~from:(Asn.of_int 10)
+        (Prefix.of_string_exn "203.0.113.0/24"));
+    (* Scenario 4: the dataplane — a packet through a tunnel. *)
+    let module Tunnel = Peering_dataplane.Tunnel in
+    let module Fib = Peering_dataplane.Fib in
+    let module Packet = Peering_dataplane.Packet in
+    let fwd = Forwarder.create engine in
+    Forwarder.add_node fwd "client";
+    Forwarder.add_node fwd "mux";
+    let tun = Tunnel.establish fwd engine ~a:"client" ~b:"mux" () in
+    Tunnel.route_via tun ~at:"client" (Prefix.of_string_exn "172.16.0.0/12");
+    Forwarder.set_route fwd "mux" (Prefix.of_string_exn "172.16.0.0/12")
+      Fib.Local;
+    Forwarder.inject fwd ~at:"client"
+      (Packet.make ~src:(Ipv4.of_octets 10 1 0 1)
+         ~dst:(Ipv4.of_octets 172 16 1 1) ~size:500 ());
+    Engine.run_for engine 1.0;
+    Trace.detach ();
+    if json then
+      let doc =
+        Json.Obj
+          [ ("schema", Json.String "peering-stats/1");
+            ("seed", Json.Int seed);
+            ("metrics", Obs_report.to_json ());
+            ( "trace",
+              Json.Obj
+                (List.map
+                   (fun (subsystem, n) -> (subsystem, Json.Int n))
+                   (Trace.count_by_subsystem trace)) )
+          ]
+      in
+      print_endline (Json.to_string ~indent:2 doc)
+    else begin
+      Printf.printf "trace events by subsystem (%d total, %d dropped):\n"
+        (Trace.count trace) (Trace.dropped trace);
+      List.iter
+        (fun (subsystem, n) -> Printf.printf "  %-24s %d\n" subsystem n)
+        (Trace.count_by_subsystem trace);
+      print_newline ();
+      print_string (Obs_report.render ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run an instrumented scenario (experiment lifecycle + a wire BGP \
+          session) and print every metric the testbed recorded")
+    Term.(const run $ seed_arg $ json_arg)
+
 let portal_cmd =
   let run seed =
     let params = { Testbed.default_params with Testbed.seed } in
@@ -320,4 +427,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
-            config_cmd; check_cmd; portal_cmd ]))
+            config_cmd; check_cmd; portal_cmd; stats_cmd ]))

@@ -1,4 +1,18 @@
 open Peering_net
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_flaps =
+  Metrics.counter ~help:"route flaps charged with a penalty"
+    "bgp.dampening.flaps"
+
+let m_suppressions =
+  Metrics.counter ~help:"routes entering the suppressed state"
+    "bgp.dampening.suppressions"
+
+let m_reuses =
+  Metrics.counter ~help:"suppressed routes released for reuse"
+    "bgp.dampening.reuses"
 
 type params = {
   penalty_per_flap : float;
@@ -44,14 +58,17 @@ let refresh t e ~now =
       || now -. since >= t.params.max_suppress
     then begin
       e.suppressed_since <- None;
+      Metrics.Counter.inc m_reuses;
       (* After the max-suppress cap fires, clamp the penalty so the
          route does not instantly re-suppress on the next tiny flap. *)
       if now -. since >= t.params.max_suppress then
         e.penalty <- min e.penalty t.params.reuse_threshold
     end
   | None ->
-    if e.penalty >= t.params.suppress_threshold then
-      e.suppressed_since <- Some now)
+    if e.penalty >= t.params.suppress_threshold then begin
+      e.suppressed_since <- Some now;
+      Metrics.Counter.inc m_suppressions
+    end)
 
 let get t ~peer prefix = Hashtbl.find_opt t.table (peer, prefix)
 
@@ -66,7 +83,17 @@ let flap t ~now ~peer prefix =
   in
   refresh t e ~now;
   e.penalty <- e.penalty +. t.params.penalty_per_flap;
-  refresh t e ~now
+  refresh t e ~now;
+  Metrics.Counter.inc m_flaps;
+  if Sink.active () then
+    Sink.emit ~time:now ~level:Peering_obs.Event.Debug
+      ~subsystem:"bgp.dampening"
+      (Peering_obs.Event.Dampening_penalty
+         { peer;
+           prefix;
+           penalty = e.penalty;
+           suppressed = e.suppressed_since <> None
+         })
 
 let penalty t ~now ~peer prefix =
   match get t ~peer prefix with

@@ -1,4 +1,10 @@
 open Peering_net
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_runs =
+  Metrics.counter ~help:"decision-process runs (candidate sets ranked)"
+    "bgp.decision.runs"
 
 let default_local_pref = 100
 
@@ -72,6 +78,11 @@ let compare a b = snd (deciding_step a b)
 let best = function
   | [] -> None
   | r :: rest ->
+    Metrics.Counter.inc m_runs;
+    if Sink.active () then
+      Sink.emit ~level:Peering_obs.Event.Debug ~subsystem:"bgp.decision"
+        (Peering_obs.Event.Decision_run
+           { prefix = r.Route.prefix; candidates = 1 + List.length rest });
     Some (List.fold_left (fun acc c -> if compare c acc < 0 then c else acc) r rest)
 
 let sort l = List.stable_sort compare l

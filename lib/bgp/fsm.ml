@@ -1,5 +1,32 @@
 open Peering_net
 module Engine = Peering_sim.Engine
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_transitions =
+  Metrics.counter ~help:"BGP session FSM state transitions"
+    "bgp.fsm.transitions"
+
+let m_established =
+  Metrics.counter ~help:"sessions that reached Established"
+    "bgp.session.established"
+
+let m_closed =
+  Metrics.counter ~help:"sessions closed (any reason)" "bgp.session.closed"
+
+let m_updates_rx =
+  Metrics.counter ~help:"UPDATE messages received on established sessions"
+    "bgp.session.updates_rx"
+
+let m_keepalives_rx =
+  Metrics.counter ~help:"KEEPALIVE messages received" "bgp.session.keepalives_rx"
+
+let m_notifications_rx =
+  Metrics.counter ~help:"NOTIFICATION messages received"
+    "bgp.session.notifications_rx"
+
+let m_fsm_errors =
+  Metrics.counter ~help:"messages rejected as FSM errors" "bgp.fsm.errors"
 
 type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
 
@@ -67,6 +94,26 @@ let negotiated t = t.negotiated
 let peer_open t = t.peer_open
 let established_count t = t.established_count
 
+let peer_label t =
+  match t.peer_open with
+  | Some o -> Asn.to_string o.Message.asn
+  | None -> "?"
+
+(* All state changes funnel through here so the transition counter and
+   the typed trace stay complete. *)
+let set_state t next =
+  if t.state <> next then begin
+    Metrics.Counter.inc m_transitions;
+    if Sink.active () then
+      Sink.emit ~time:(Engine.now t.engine) ~subsystem:"bgp.fsm"
+        (Peering_obs.Event.Session_transition
+           { peer = peer_label t;
+             from_state = state_to_string t.state;
+             to_state = state_to_string next
+           });
+    t.state <- next
+  end
+
 let my_open t =
   Message.Open
     { version = 4;
@@ -81,7 +128,8 @@ let bump_timers t = t.timer_generation <- t.timer_generation + 1
 let close t reason =
   if t.state <> Idle then begin
     bump_timers t;
-    t.state <- Idle;
+    Metrics.Counter.inc m_closed;
+    set_state t Idle;
     t.peer_open <- None;
     t.negotiated <- None;
     t.cb.on_close reason
@@ -124,7 +172,8 @@ let enter_established t =
     }
   in
   t.negotiated <- Some opts;
-  t.state <- Established;
+  set_state t Established;
+  Metrics.Counter.inc m_established;
   t.established_count <- t.established_count + 1;
   t.hold_interval <- float_of_int (min t.config.hold_time peer.hold_time);
   bump_timers t;
@@ -144,9 +193,9 @@ let touch_hold t =
 let start t =
   match t.state with
   | Idle ->
-    if t.config.passive then t.state <- Active
+    if t.config.passive then set_state t Active
     else begin
-      t.state <- Open_sent;
+      set_state t Open_sent;
       t.cb.send (my_open t)
     end
   | Connect | Active | Open_sent | Open_confirm | Established -> ()
@@ -160,6 +209,7 @@ let stop t ~reason =
   close t reason
 
 let fsm_error t got =
+  Metrics.Counter.inc m_fsm_errors;
   t.cb.send
     (Message.Notification
        { code = Message.Error.fsm;
@@ -192,7 +242,7 @@ let handle t msg =
       t.peer_open <- Some o;
       t.cb.send (my_open t);
       t.cb.send Message.Keepalive;
-      t.state <- Open_confirm)
+      set_state t Open_confirm)
   | (Connect | Active), _ -> fsm_error t "message before OPEN"
   | Open_sent, Message.Open o -> (
     match validate_open t o with
@@ -204,7 +254,7 @@ let handle t msg =
     | Ok _ ->
       t.peer_open <- Some o;
       t.cb.send Message.Keepalive;
-      t.state <- Open_confirm)
+      set_state t Open_confirm)
   | Open_sent, Message.Notification n -> close t n.reason
   | Open_sent, (Message.Update _ | Message.Keepalive) ->
     fsm_error t "update/keepalive"
@@ -214,7 +264,19 @@ let handle t msg =
   | Open_confirm, Message.Update _ -> fsm_error t "early UPDATE"
   | Established, Message.Update u ->
     touch_hold t;
+    Metrics.Counter.inc m_updates_rx;
+    if Sink.active () then
+      Sink.emit ~time:(Engine.now t.engine) ~subsystem:"bgp.session"
+        (Peering_obs.Event.Update_rx
+           { peer = peer_label t;
+             announced = List.length u.Message.nlri;
+             withdrawn = List.length u.Message.withdrawn
+           });
     t.cb.on_update u
-  | Established, Message.Keepalive -> touch_hold t
-  | Established, Message.Notification n -> close t n.reason
+  | Established, Message.Keepalive ->
+    Metrics.Counter.inc m_keepalives_rx;
+    touch_hold t
+  | Established, Message.Notification n ->
+    Metrics.Counter.inc m_notifications_rx;
+    close t n.reason
   | Established, Message.Open _ -> fsm_error t "OPEN while established"

@@ -51,5 +51,9 @@ val negotiated : t -> Wire.session_opts option
 val peer_open : t -> Message.open_msg option
 (** The peer's OPEN, once received. *)
 
+val peer_label : t -> string
+(** The remote peer's ASN as a string once its OPEN has arrived,
+    ["?"] before that — the identity used in trace events. *)
+
 val established_count : t -> int
 (** Number of times this FSM has reached Established (flap counting). *)

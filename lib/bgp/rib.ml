@@ -1,4 +1,14 @@
 open Peering_net
+module Metrics = Peering_obs.Metrics
+
+let m_announces =
+  Metrics.counter ~help:"routes offered to Adj-RIB-In" "bgp.rib.announces"
+
+let m_withdraws =
+  Metrics.counter ~help:"withdrawals applied to Adj-RIB-In" "bgp.rib.withdraws"
+
+let m_loc_changes =
+  Metrics.counter ~help:"Loc-RIB best-route changes" "bgp.rib.loc_changes"
 
 type change = {
   prefix : Prefix.t;
@@ -42,6 +52,7 @@ let recompute t prefix =
     | None, Some _ | Some _, None -> true
   in
   if changed then begin
+    Metrics.Counter.inc m_loc_changes;
     (match current with
     | Some r -> t.loc <- Prefix_trie.add prefix r t.loc
     | None -> t.loc <- Prefix_trie.remove prefix t.loc);
@@ -50,6 +61,7 @@ let recompute t prefix =
   else None
 
 let announce t ~peer (route : Route.t) =
+  Metrics.Counter.inc m_announces;
   let tbl = peer_table t peer in
   let prefix = route.Route.prefix in
   let existing = Option.value (Prefix_trie.find prefix tbl) ~default:[] in
@@ -60,6 +72,7 @@ let announce t ~peer (route : Route.t) =
   recompute t prefix
 
 let withdraw t ~peer ?(path_id = 0) prefix =
+  Metrics.Counter.inc m_withdraws;
   let tbl = peer_table t peer in
   match Prefix_trie.find prefix tbl with
   | None -> None

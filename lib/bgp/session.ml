@@ -1,5 +1,16 @@
 open Peering_net
 module Engine = Peering_sim.Engine
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_wire_messages =
+  Metrics.counter ~help:"BGP messages placed on the wire" "bgp.wire.messages"
+
+let m_wire_bytes =
+  Metrics.counter ~help:"BGP message bytes placed on the wire" "bgp.wire.bytes"
+
+let m_updates_tx =
+  Metrics.counter ~help:"UPDATE messages transmitted" "bgp.session.updates_tx"
 
 type endpoint = { fsm : Fsm.t; addr : Ipv4.t }
 
@@ -22,6 +33,19 @@ let transmit t ~(sender : unit -> Fsm.t) ~(receiver : unit -> Fsm.t) msg =
   let bytes = Wire.encode opts msg in
   t.bytes <- t.bytes + Bytes.length bytes;
   t.messages <- t.messages + 1;
+  Metrics.Counter.inc m_wire_messages;
+  Metrics.Counter.add m_wire_bytes (Bytes.length bytes);
+  (match msg with
+  | Message.Update u ->
+    Metrics.Counter.inc m_updates_tx;
+    if Sink.active () then
+      Sink.emit ~time:(Engine.now t.engine) ~subsystem:"bgp.session"
+        (Peering_obs.Event.Update_tx
+           { peer = Fsm.peer_label (sender ());
+             announced = List.length u.Message.nlri;
+             withdrawn = List.length u.Message.withdrawn
+           })
+  | Message.Open _ | Message.Keepalive | Message.Notification _ -> ());
   Engine.schedule t.engine ~delay:t.latency (fun () ->
       let rx = receiver () in
       let opts =

@@ -1,5 +1,19 @@
 open Peering_net
 open Peering_bgp
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_accepted =
+  Metrics.counter ~help:"announcements accepted by the safety filter"
+    "core.safety.accepted"
+
+let m_rejected =
+  Metrics.counter ~help:"announcements rejected by the safety filter"
+    "core.safety.rejected"
+
+let m_withdraw_flaps =
+  Metrics.counter ~help:"withdrawals charged to the dampening state"
+    "core.safety.withdraw_flaps"
 
 type reason =
   | Experiment_not_active
@@ -49,7 +63,7 @@ let check_path t experiment suffix =
   in
   go suffix
 
-let check_announce t ~now ~client ~experiment ~prefix ~path_suffix =
+let check_announce_inner t ~now ~client ~experiment ~prefix ~path_suffix =
   if not (Experiment.is_active experiment) then Error Experiment_not_active
   else if not (t.owns prefix) then Error Prefix_not_owned
   else if not (Experiment.owns_prefix experiment prefix) then
@@ -76,7 +90,31 @@ let check_announce t ~now ~client ~experiment ~prefix ~path_suffix =
           Ok ()
         end)
 
+let check_announce t ~now ~client ~experiment ~prefix ~path_suffix =
+  let result =
+    check_announce_inner t ~now ~client ~experiment ~prefix ~path_suffix
+  in
+  (match result with
+  | Ok () -> Metrics.Counter.inc m_accepted
+  | Error _ -> Metrics.Counter.inc m_rejected);
+  if Sink.active () then begin
+    let verdict =
+      match result with
+      | Ok () -> Peering_obs.Event.Accepted
+      | Error r -> Peering_obs.Event.Rejected (reason_to_string r)
+    in
+    let level =
+      match result with
+      | Ok () -> Peering_obs.Event.Info
+      | Error _ -> Peering_obs.Event.Warn
+    in
+    Sink.emit ~time:now ~level ~subsystem:"core.safety"
+      (Peering_obs.Event.Safety_verdict { client; prefix; verdict })
+  end;
+  result
+
 let note_withdraw t ~now ~client ~prefix =
+  Metrics.Counter.inc m_withdraw_flaps;
   Dampening.flap t.dampening ~now ~peer:client prefix;
   (match Prefix.Map.find_opt prefix t.registry with
   | Some c when c = client -> t.registry <- Prefix.Map.remove prefix t.registry

@@ -1,6 +1,27 @@
 open Peering_net
 open Peering_bgp
 module Engine = Peering_sim.Engine
+module Metrics = Peering_obs.Metrics
+
+let m_client_connects =
+  Metrics.counter ~help:"experiment clients connected to a mux"
+    "core.server.client_connects"
+
+let m_routes_learned =
+  Metrics.counter ~help:"routes learned from upstream peers"
+    "core.server.routes_learned"
+
+let m_updates_to_clients =
+  Metrics.counter ~help:"route updates relayed to experiment clients"
+    "core.server.updates_to_clients"
+
+let m_announces_exported =
+  Metrics.counter ~help:"client announcements exported to peers"
+    "core.server.announces_exported"
+
+let m_withdraws_exported =
+  Metrics.counter ~help:"client withdrawals exported to peers"
+    "core.server.withdraws_exported"
 
 type mux_mode = Per_peer_sessions | Add_path_mux
 
@@ -110,6 +131,7 @@ let connect_client t ~experiment ?callbacks id =
     invalid_arg "Server.connect_client: duplicate client id";
   let conn = { id; experiment; callbacks; announced = Prefix.Map.empty } in
   t.conns <- t.conns @ [ conn ];
+  Metrics.Counter.inc m_client_connects;
   replay_to conn t
 
 let clients t = List.map (fun c -> c.id) t.conns
@@ -132,6 +154,7 @@ let announce t ~client ?peers ?(path_suffix = []) prefix =
       | Some l -> Asn.Set.inter all_peers (Asn.Set.of_list l)
     in
     conn.announced <- Prefix.Map.add prefix targets conn.announced;
+    Metrics.Counter.inc m_announces_exported;
     t.export
       (Export_announce { client; prefix; path_suffix = sanitized; peers = targets });
     Ok ()
@@ -141,6 +164,7 @@ let withdraw t ~client prefix =
   if Prefix.Map.mem prefix conn.announced then begin
     conn.announced <- Prefix.Map.remove prefix conn.announced;
     Safety.note_withdraw t.safety ~now:(Engine.now t.engine) ~client ~prefix;
+    Metrics.Counter.inc m_withdraws_exported;
     t.export (Export_withdraw { client; prefix })
   end
 
@@ -178,10 +202,13 @@ let learn_route t ~peer ~path prefix =
     in
     let table = peer_table t peer in
     table := Prefix.Map.add prefix route !table;
+    Metrics.Counter.inc m_routes_learned;
     List.iter
       (fun conn ->
         match conn.callbacks with
-        | Some cb -> cb.route_update ~peer route
+        | Some cb ->
+          Metrics.Counter.inc m_updates_to_clients;
+          cb.route_update ~peer route
         | None -> ())
       t.conns
 

@@ -1,5 +1,18 @@
 open Peering_net
 module Engine = Peering_sim.Engine
+module Metrics = Peering_obs.Metrics
+
+let m_delivered =
+  Metrics.counter ~help:"packets delivered to their destination node"
+    "dataplane.forwarder.delivered"
+
+let m_dropped =
+  Metrics.counter ~help:"packets dropped (TTL, no-route, filter, blackhole)"
+    "dataplane.forwarder.dropped"
+
+let m_hops =
+  Metrics.counter ~help:"router-to-router hops traversed"
+    "dataplane.forwarder.hops"
 
 type node_id = string
 
@@ -91,16 +104,22 @@ let on_deliver t id f = (node_exn t id).deliver <- Some f
    decrements before forwarding, and local delivery never expires. *)
 let rec process t (node : node) ~router (pkt : Packet.t) =
   match Fib.lookup pkt.Packet.dst node.fib with
-  | None -> t.dropped_no_route <- t.dropped_no_route + 1
-  | Some Fib.Blackhole -> t.dropped_blackhole <- t.dropped_blackhole + 1
+  | None ->
+    t.dropped_no_route <- t.dropped_no_route + 1;
+    Metrics.Counter.inc m_dropped
+  | Some Fib.Blackhole ->
+    t.dropped_blackhole <- t.dropped_blackhole + 1;
+    Metrics.Counter.inc m_dropped
   | Some Fib.Unreachable -> begin
     t.dropped_no_route <- t.dropped_no_route + 1;
+    Metrics.Counter.inc m_dropped;
     icmp_back t node pkt
       (Packet.Dest_unreachable
          { original_dst = pkt.Packet.dst; original_id = pkt.Packet.id })
   end
   | Some Fib.Local -> begin
     t.delivered <- t.delivered + 1;
+    Metrics.Counter.inc m_delivered;
     match node.deliver with Some f -> f pkt | None -> ()
   end
   | Some (Fib.Via next) -> (
@@ -108,18 +127,22 @@ let rec process t (node : node) ~router (pkt : Packet.t) =
     match forwarded with
     | None ->
       t.dropped_ttl <- t.dropped_ttl + 1;
+      Metrics.Counter.inc m_dropped;
       icmp_back t node pkt
         (Packet.Ttl_exceeded
            { original_dst = pkt.Packet.dst; original_id = pkt.Packet.id })
     | Some pkt ->
       t.hops <- t.hops + 1;
+      Metrics.Counter.inc m_hops;
       let next_node = node_exn t next in
       let delay = latency t node.id next in
       Engine.schedule t.engine ~delay (fun () -> arrive t next_node pkt))
 
 and arrive t node pkt =
   match node.ingress with
-  | Some f when not (f pkt) -> t.dropped_filtered <- t.dropped_filtered + 1
+  | Some f when not (f pkt) ->
+    t.dropped_filtered <- t.dropped_filtered + 1;
+    Metrics.Counter.inc m_dropped
   | Some _ | None -> process t node ~router:true pkt
 
 and icmp_back t (node : node) (orig : Packet.t) icmp =

@@ -1,5 +1,14 @@
 open Peering_net
 module Engine = Peering_sim.Engine
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_packets =
+  Metrics.counter ~help:"packets carried through tunnels"
+    "dataplane.tunnel.packets"
+
+let m_bytes =
+  Metrics.counter ~help:"bytes carried through tunnels" "dataplane.tunnel.bytes"
 
 type t = {
   fwd : Forwarder.t;
@@ -34,6 +43,13 @@ let establish fwd engine ?(latency = 0.02) ~a ~b () =
         if t.up then begin
           t.bytes <- t.bytes + pkt.Packet.size;
           t.packets <- t.packets + 1;
+          Metrics.Counter.inc m_packets;
+          Metrics.Counter.add m_bytes pkt.Packet.size;
+          if Sink.active () then
+            Sink.emit ~time:(Engine.now engine)
+              ~level:Peering_obs.Event.Debug ~subsystem:"dataplane.tunnel"
+              (Peering_obs.Event.Tunnel_forward
+                 { tunnel = tag; bytes = pkt.Packet.size });
           Engine.schedule engine ~delay:t.latency (fun () ->
               Forwarder.inject fwd ~at:far pkt)
         end)

@@ -1,5 +1,23 @@
 open Peering_net
 open Peering_bgp
+module Metrics = Peering_obs.Metrics
+module Sink = Peering_obs.Sink
+
+let m_announces =
+  Metrics.counter ~help:"member announcements processed by the route server"
+    "ixp.route_server.announces"
+
+let m_withdraws =
+  Metrics.counter ~help:"member withdrawals processed by the route server"
+    "ixp.route_server.withdraws"
+
+let m_delivered =
+  Metrics.counter ~help:"routes delivered to members after export filtering"
+    "ixp.route_server.delivered"
+
+let m_filtered =
+  Metrics.counter ~help:"deliveries blocked by BGP-community export policy"
+    "ixp.route_server.filtered"
 
 module Imap = Map.Make (Int)
 
@@ -61,9 +79,11 @@ let scrub t (r : Route.t) =
 let announce t ~from (route : Route.t) =
   if not (Asn.Set.mem from t.connected) then
     invalid_arg "Route_server.announce: member not connected";
+  Metrics.Counter.inc m_announces;
   let ann = table t.announced (Asn.to_int from) in
   ann := Prefix.Map.add route.Route.prefix route !ann;
   let deliveries = ref [] in
+  let filtered = ref 0 in
   Asn.Set.iter
     (fun m ->
       if not (Asn.equal m from) then
@@ -72,9 +92,21 @@ let announce t ~from (route : Route.t) =
           let d = table t.delivered (Asn.to_int m) in
           d := Prefix.Map.add out.Route.prefix out !d;
           deliveries := (m, out) :: !deliveries
-        end)
+        end
+        else incr filtered)
     t.connected;
-  List.rev !deliveries
+  let deliveries = List.rev !deliveries in
+  Metrics.Counter.add m_delivered (List.length deliveries);
+  Metrics.Counter.add m_filtered !filtered;
+  if Sink.active () then
+    Sink.emit ~subsystem:"ixp.route_server"
+      (Peering_obs.Event.Route_server_pass
+         { member = Asn.to_string from;
+           prefix = route.Route.prefix;
+           delivered = List.length deliveries;
+           filtered = !filtered
+         });
+  deliveries
 
 let withdraw t ~from prefix =
   if not (Asn.Set.mem from t.connected) then
@@ -83,6 +115,7 @@ let withdraw t ~from prefix =
   match Prefix.Map.find_opt prefix !ann with
   | None -> []
   | Some _route ->
+    Metrics.Counter.inc m_withdraws;
     ann := Prefix.Map.remove prefix !ann;
     let withdrawals = ref [] in
     Asn.Set.iter

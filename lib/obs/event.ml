@@ -1,0 +1,79 @@
+open Peering_net
+
+type level = Debug | Info | Warn
+
+type verdict = Accepted | Rejected of string
+
+type t =
+  | Session_transition of {
+      peer : string;
+      from_state : string;
+      to_state : string;
+    }
+  | Update_rx of { peer : string; announced : int; withdrawn : int }
+  | Update_tx of { peer : string; announced : int; withdrawn : int }
+  | Decision_run of { prefix : Prefix.t; candidates : int }
+  | Safety_verdict of { client : string; prefix : Prefix.t; verdict : verdict }
+  | Route_server_pass of {
+      member : string;
+      prefix : Prefix.t;
+      delivered : int;
+      filtered : int;
+    }
+  | Dampening_penalty of {
+      peer : string;
+      prefix : Prefix.t;
+      penalty : float;
+      suppressed : bool;
+    }
+  | Tunnel_forward of { tunnel : string; bytes : int }
+  | Ad_hoc of string
+
+let label = function
+  | Session_transition _ -> "session_transition"
+  | Update_rx _ -> "update_rx"
+  | Update_tx _ -> "update_tx"
+  | Decision_run _ -> "decision_run"
+  | Safety_verdict _ -> "safety_verdict"
+  | Route_server_pass _ -> "route_server_pass"
+  | Dampening_penalty _ -> "dampening_penalty"
+  | Tunnel_forward _ -> "tunnel_forward"
+  | Ad_hoc _ -> "ad_hoc"
+
+let to_string = function
+  | Session_transition { peer; from_state; to_state } ->
+    Printf.sprintf "session %s: %s -> %s" peer from_state to_state
+  | Update_rx { peer; announced; withdrawn } ->
+    Printf.sprintf "update rx from %s: %d announced, %d withdrawn" peer
+      announced withdrawn
+  | Update_tx { peer; announced; withdrawn } ->
+    Printf.sprintf "update tx to %s: %d announced, %d withdrawn" peer
+      announced withdrawn
+  | Decision_run { prefix; candidates } ->
+    Printf.sprintf "decision over %s: %d candidates"
+      (Prefix.to_string prefix) candidates
+  | Safety_verdict { client; prefix; verdict } -> (
+    match verdict with
+    | Accepted ->
+      Printf.sprintf "safety: %s may announce %s" client
+        (Prefix.to_string prefix)
+    | Rejected reason ->
+      Printf.sprintf "safety: %s refused %s (%s)" client
+        (Prefix.to_string prefix) reason)
+  | Route_server_pass { member; prefix; delivered; filtered } ->
+    Printf.sprintf "route server: %s from %s delivered to %d, filtered for %d"
+      (Prefix.to_string prefix) member delivered filtered
+  | Dampening_penalty { peer; prefix; penalty; suppressed } ->
+    Printf.sprintf "dampening: %s/%s penalty %.0f%s" peer
+      (Prefix.to_string prefix) penalty
+      (if suppressed then " (suppressed)" else "")
+  | Tunnel_forward { tunnel; bytes } ->
+    Printf.sprintf "tunnel %s forwarded %d bytes" tunnel bytes
+  | Ad_hoc s -> s
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

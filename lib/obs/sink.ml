@@ -1,0 +1,14 @@
+let sink :
+    (time:float option -> Event.level -> subsystem:string -> Event.t -> unit)
+    option
+    ref =
+  ref None
+
+let set f = sink := Some f
+let clear () = sink := None
+let active () = !sink <> None
+
+let emit ?time ?(level = Event.Info) ~subsystem ev =
+  match !sink with
+  | None -> ()
+  | Some f -> f ~time level ~subsystem ev

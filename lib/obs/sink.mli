@@ -1,0 +1,26 @@
+(** The process-wide event sink.
+
+    Instrumented code calls {!emit} unconditionally; when no sink is
+    installed the call is a single load-and-branch, so hot paths pay
+    nothing for tracing that nobody is collecting. A trace buffer
+    (normally {!Peering_sim.Trace}, which also supplies the virtual
+    clock) installs itself with {!set} for the duration of a run.
+
+    There is deliberately one sink, not a registry of them: the
+    simulator is single-threaded and deterministic, and a single
+    process hosts a single testbed run. *)
+
+val set : (time:float option -> Event.level -> subsystem:string -> Event.t -> unit) -> unit
+(** Install the sink, replacing any previous one. *)
+
+val clear : unit -> unit
+(** Remove the sink; subsequent {!emit} calls are no-ops. *)
+
+val active : unit -> bool
+(** Whether a sink is installed. Hot paths that must build an event
+    payload guard on this to skip the allocation entirely. *)
+
+val emit : ?time:float -> ?level:Event.level -> subsystem:string -> Event.t -> unit
+(** Report an event. [time] is the virtual timestamp when the caller
+    knows it (e.g. the safety layer's [~now]); otherwise the sink
+    falls back to its own clock. [level] defaults to [Info]. *)

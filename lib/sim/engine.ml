@@ -1,3 +1,24 @@
+module Metrics = Peering_obs.Metrics
+
+(* Process-wide instrumentation (all engines share these; a test that
+   wants per-run numbers resets the default registry first). The
+   wall-clock pacing histogram is volatile: its samples depend on host
+   speed, so it is excluded from deterministic snapshots. *)
+let m_events =
+  Metrics.counter ~help:"simulation events executed" "engine.events_executed"
+
+let m_scheduled =
+  Metrics.counter ~help:"events pushed onto the queue" "engine.events_scheduled"
+
+let m_queue =
+  Metrics.gauge ~help:"event-queue depth (hwm = high-water mark)"
+    "engine.queue_depth"
+
+let m_wall =
+  Metrics.histogram ~volatile:true ~sample_cap:1024
+    ~help:"host seconds spent per virtual second inside run_for"
+    "engine.wall_s_per_vsec"
+
 type t = {
   mutable clock : float;
   queue : (unit -> unit) Event_queue.t;
@@ -10,13 +31,19 @@ let create ?(seed = 42) () =
 let now t = t.clock
 let rng t = t.rng
 
+let note_scheduled t =
+  Metrics.Counter.inc m_scheduled;
+  Metrics.Gauge.set m_queue (float_of_int (Event_queue.length t.queue))
+
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.push t.queue ~time f
+  Event_queue.push t.queue ~time f;
+  note_scheduled t
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Event_queue.push t.queue ~time:(t.clock +. delay) f
+  Event_queue.push t.queue ~time:(t.clock +. delay) f;
+  note_scheduled t
 
 let pending t = Event_queue.length t.queue
 
@@ -25,6 +52,7 @@ let step t =
   | None -> false
   | Some (time, f) ->
     t.clock <- max t.clock time;
+    Metrics.Counter.inc m_events;
     f ();
     true
 
@@ -44,5 +72,8 @@ let run ?until ?max_events t =
 
 let run_for t d =
   let horizon = t.clock +. d in
+  let wall_start = Sys.time () in
   run ~until:horizon t;
-  t.clock <- max t.clock horizon
+  t.clock <- max t.clock horizon;
+  if d > 0.0 then
+    Metrics.Histogram.observe m_wall ((Sys.time () -. wall_start) /. d)

@@ -1,10 +1,13 @@
-type level = Debug | Info | Warn
+module Event = Peering_obs.Event
+module Sink = Peering_obs.Sink
+
+type level = Event.level = Debug | Info | Warn
 
 type event = {
   time : float;
   level : level;
   subsystem : string;
-  message : string;
+  ev : Event.t;
 }
 
 type t = {
@@ -16,16 +19,27 @@ type t = {
 let create ?(capacity = 100_000) () =
   { capacity; buf = Queue.create (); dropped = 0 }
 
-let record t ~time ~level ~subsystem message =
-  Queue.push { time; level; subsystem; message } t.buf;
+let record_ev t ~time ~level ~subsystem ev =
+  Queue.push { time; level; subsystem; ev } t.buf;
   if Queue.length t.buf > t.capacity then begin
     ignore (Queue.pop t.buf);
     t.dropped <- t.dropped + 1
   end
 
+let record t ~time ~level ~subsystem message =
+  record_ev t ~time ~level ~subsystem (Event.Ad_hoc message)
+
+let attach t ~clock =
+  Sink.set (fun ~time level ~subsystem ev ->
+      let time = Option.value time ~default:(clock ()) in
+      record_ev t ~time ~level ~subsystem ev)
+
+let detach () = Sink.clear ()
+
 let events t = List.of_seq (Queue.to_seq t.buf)
 let count t = Queue.length t.buf
 let dropped t = t.dropped
+let message e = Event.to_string e.ev
 
 let find t ?subsystem ?contains () =
   let matches e =
@@ -34,21 +48,31 @@ let find t ?subsystem ?contains () =
     match contains with
     | None -> true
     | Some needle ->
-      let hlen = String.length e.message and nlen = String.length needle in
+      let haystack = message e in
+      let hlen = String.length haystack and nlen = String.length needle in
       let rec at i =
         i + nlen <= hlen
-        && (String.equal (String.sub e.message i nlen) needle || at (i + 1))
+        && (String.equal (String.sub haystack i nlen) needle || at (i + 1))
       in
       nlen = 0 || at 0
   in
   List.filter matches (events t)
 
+let count_by_subsystem t =
+  let tbl = Hashtbl.create 16 in
+  Queue.iter
+    (fun e ->
+      Hashtbl.replace tbl e.subsystem
+        (1 + Option.value (Hashtbl.find_opt tbl e.subsystem) ~default:0))
+    t.buf;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let clear t =
   Queue.clear t.buf;
   t.dropped <- 0
 
-let level_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
-
 let pp_event ppf e =
-  Format.fprintf ppf "[%10.3f] %-5s %-12s %s" e.time (level_string e.level)
-    e.subsystem e.message
+  Format.fprintf ppf "[%10.3f] %-5s %-12s %s" e.time
+    (Event.level_to_string e.level)
+    e.subsystem (message e)

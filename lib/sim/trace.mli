@@ -1,27 +1,48 @@
 (** Structured event tracing.
 
-    Subsystems record typed events into a shared trace; tests and
-    benches query it. Keeping tracing separate from [logs] output lets
-    experiments make assertions about what happened on the control
-    plane (e.g. "the upstream saw no announcement for a hijacked
-    prefix"). *)
+    Subsystems record typed events ({!Peering_obs.Event.t}) into a
+    shared trace; tests and benches query it. Keeping tracing separate
+    from [logs] output lets experiments make assertions about what
+    happened on the control plane (e.g. "the upstream saw no
+    announcement for a hijacked prefix") — and with the typed
+    vocabulary those assertions pattern-match on payloads instead of
+    substring-searching rendered text. The plain-string [record] entry
+    point remains for ad-hoc use. *)
 
-type level = Debug | Info | Warn
+type level = Peering_obs.Event.level = Debug | Info | Warn
 
 type event = {
-  time : float;
+  time : float;  (** virtual time of the occurrence *)
   level : level;
   subsystem : string;
-  message : string;
+  ev : Peering_obs.Event.t;
 }
+(** One recorded occurrence; render with {!message} or {!pp_event}. *)
 
 type t
+(** A bounded in-memory buffer of {!event}s. *)
 
 val create : ?capacity:int -> unit -> t
 (** A trace buffer. [capacity] (default 100_000) bounds memory; older
-    events are dropped beyond it. *)
+    events are dropped beyond it and accounted in {!dropped}. *)
+
+val record_ev :
+  t -> time:float -> level:level -> subsystem:string -> Peering_obs.Event.t -> unit
+(** Append a typed event. *)
 
 val record : t -> time:float -> level:level -> subsystem:string -> string -> unit
+(** The string fallback: [record t … msg] is
+    [record_ev t … (Ad_hoc msg)]. *)
+
+val attach : t -> clock:(unit -> float) -> unit
+(** Install this buffer as the process-wide {!Peering_obs.Sink}, so
+    instrumented subsystems that only call [Peering_obs.Sink.emit]
+    land here. Events emitted without an explicit time are stamped
+    with [clock ()] (normally the engine's virtual clock). Replaces
+    any previously attached buffer. *)
+
+val detach : unit -> unit
+(** Clear the process-wide sink (whether or not it was this buffer). *)
 
 val events : t -> event list
 (** All retained events, oldest first. *)
@@ -30,10 +51,20 @@ val count : t -> int
 (** Number of retained events. *)
 
 val dropped : t -> int
-(** Number of events discarded due to the capacity bound. *)
+(** Number of events discarded due to the capacity bound. The total
+    ever recorded is [count t + dropped t]. *)
+
+val message : event -> string
+(** The event's rendered one-line message. *)
 
 val find : t -> ?subsystem:string -> ?contains:string -> unit -> event list
-(** Filter retained events by subsystem and/or substring. *)
+(** Filter retained events by subsystem and/or a substring of the
+    rendered message. *)
+
+val count_by_subsystem : t -> (string * int) list
+(** Retained-event totals per subsystem, sorted by subsystem name. *)
 
 val clear : t -> unit
+(** Drop all events and zero the {!dropped} counter. *)
+
 val pp_event : Format.formatter -> event -> unit

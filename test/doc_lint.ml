@@ -1,0 +1,113 @@
+(* Documentation linter for interface files.
+
+   The build environment has no odoc, so `dune build @doc` alone cannot
+   gate documentation quality; this tool is attached to the @doc alias
+   (and to runtest) instead. It requires every top-level [val] and
+   [type] in the given .mli files to carry an adjacent odoc comment —
+   either a [(** … *)] in the lines of the declaration itself / right
+   after it, or one ending on the line directly above — and rejects
+   files whose comment delimiters do not balance (a malformed or
+   unterminated doc comment). *)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then false
+    else if String.sub s i m = sub then true
+    else go (i + 1)
+  in
+  go 0
+
+let count_occurrences s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + m) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* Top-level items that must be documented. Module blocks are skipped:
+   their members are indented and carry their own docs. *)
+let is_item line = starts_with "val " line || starts_with "type " line
+
+let is_blank line = String.trim line = ""
+
+let read_lines file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      Array.of_list (List.rev acc)
+  in
+  go []
+
+let lint file =
+  let lines = read_lines file in
+  let n = Array.length lines in
+  let text = String.concat "\n" (Array.to_list lines) in
+  let failures = ref [] in
+  if count_occurrences text "(*" <> count_occurrences text "*)" then
+    failures := (1, "unbalanced comment delimiters") :: !failures;
+  for i = 0 to n - 1 do
+    if is_item lines.(i) then begin
+      (* The declaration block: this line plus following lines up to a
+         blank line or the next item. A doc comment inside it (typical
+         repo style puts the comment right after the signature) counts. *)
+      let rec block_documented j =
+        if j >= n || is_blank lines.(j) then false
+        else if j > i && is_item lines.(j) then false
+        else if contains lines.(j) "(**" then true
+        else block_documented (j + 1)
+      in
+      (* Or a doc comment ending on the nearest non-blank line above. *)
+      let rec doc_above j =
+        if j < 0 then false
+        else if is_blank lines.(j) then doc_above (j - 1)
+        else ends_with "*)" (String.trim lines.(j))
+      in
+      if not (block_documented i || doc_above (i - 1)) then
+        failures :=
+          ( i + 1,
+            Printf.sprintf "undocumented: %s"
+              (String.trim lines.(i)) )
+          :: !failures
+    end
+  done;
+  List.rev !failures
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "doc_lint: no .mli files given";
+    exit 2
+  end;
+  let bad = ref 0 in
+  List.iter
+    (fun file ->
+      List.iter
+        (fun (line, msg) ->
+          incr bad;
+          Printf.eprintf "%s:%d: %s\n" file line msg)
+        (lint file))
+    files;
+  if !bad > 0 then begin
+    Printf.eprintf "doc_lint: %d failure%s in %d file%s\n" !bad
+      (if !bad = 1 then "" else "s")
+      (List.length files)
+      (if List.length files = 1 then "" else "s");
+    exit 1
+  end
+  else
+    Printf.printf "doc_lint: %d file%s clean\n" (List.length files)
+      (if List.length files = 1 then "" else "s")

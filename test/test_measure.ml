@@ -205,6 +205,33 @@ let test_stats_cdf () =
     [ (1.0, 0.25); (2.0, 0.75); (3.0, 1.0) ]
     pts
 
+let test_stats_edges () =
+  (* single sample: every percentile is that sample *)
+  check Alcotest.(float 1e-9) "single p0" 7.0 (Stats.percentile 0.0 [ 7.0 ]);
+  check Alcotest.(float 1e-9) "single p50" 7.0 (Stats.percentile 50.0 [ 7.0 ]);
+  check Alcotest.(float 1e-9) "single p100" 7.0
+    (Stats.percentile 100.0 [ 7.0 ]);
+  (match Stats.percentile 50.0 [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty sample accepted");
+  (match Stats.percentile 100.5 [ 1.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p > 100 accepted");
+  (match Stats.percentile (-1.0) [ 1.0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p < 0 accepted");
+  (* constant samples: the degenerate (zero-width) range still bins
+     every sample and keeps the moments sane *)
+  let h = Stats.histogram ~bins:3 [ 4.0; 4.0; 4.0 ] in
+  check Alcotest.int "constant samples all binned" 3
+    (List.fold_left (fun acc (_, _, c) -> acc + c) 0 h);
+  check Alcotest.(float 1e-9) "constant median" 4.0
+    (Stats.median [ 4.0; 4.0; 4.0 ]);
+  check Alcotest.(float 1e-9) "constant stddev" 0.0
+    (Stats.stddev [ 4.0; 4.0; 4.0 ]);
+  check Alcotest.(float 1e-9) "constant p90" 4.0
+    (Stats.percentile 90.0 [ 4.0; 4.0; 4.0 ])
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 1000.0))
@@ -231,6 +258,7 @@ let () =
         [ tc "basics" `Quick test_stats_basics;
           tc "histogram" `Quick test_stats_histogram;
           tc "cdf" `Quick test_stats_cdf;
+          tc "edge cases" `Quick test_stats_edges;
           QCheck_alcotest.to_alcotest prop_percentile_monotone
         ] )
     ]

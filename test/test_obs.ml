@@ -1,0 +1,264 @@
+(* The observability layer: JSON emitter/parser, the metrics registry,
+   the typed event sink, and end-to-end snapshot determinism. *)
+
+open Peering_obs
+module Trace = Peering_sim.Trace
+module Obs_report = Peering_measure.Obs_report
+open Peering_core
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 2.5);
+        ("big", Json.Float 1.0e300);
+        ("string", Json.String "line\nbreak \"quoted\" \t tab");
+        ("unicode", Json.String "caf\xc3\xa9");
+        ( "list",
+          Json.List [ Json.Int 1; Json.List []; Json.Obj []; Json.String "" ]
+        )
+      ]
+  in
+  check Alcotest.bool "compact roundtrip" true (Json.equal doc (roundtrip doc));
+  (match Json.of_string (Json.to_string ~indent:2 doc) with
+  | Ok v -> check Alcotest.bool "indented roundtrip" true (Json.equal doc v)
+  | Error e -> Alcotest.failf "indented reparse failed: %s" e);
+  (* non-finite floats serialize as null rather than invalid JSON *)
+  check Alcotest.string "nan is null" "null" (Json.to_string (Json.Float nan));
+  check Alcotest.string "inf is null" "null"
+    (Json.to_string (Json.Float infinity))
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+    | Error _ -> ()
+  in
+  fails "";
+  fails "{";
+  fails "[1, 2,]";
+  fails "{\"a\": 1,}";
+  fails "\"unterminated";
+  fails "nul";
+  fails "1.2.3";
+  fails "{\"a\" 1}";
+  fails "[1] trailing";
+  (* escapes parse back to the original characters *)
+  match Json.of_string "\"a\\u0041\\n\\\"\"" with
+  | Ok (Json.String s) -> check Alcotest.string "escapes" "aA\n\"" s
+  | Ok _ | Error _ -> Alcotest.fail "escape parse"
+
+let test_json_accessors () =
+  match Json.of_string "{\"rows\": [{\"n\": 3}], \"name\": \"e1\"}" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok doc ->
+    (match Json.member "name" doc with
+    | Some (Json.String s) -> check Alcotest.string "member" "e1" s
+    | _ -> Alcotest.fail "name member");
+    (match Json.member "rows" doc with
+    | Some rows -> (
+      match Json.to_list rows with
+      | [ row ] ->
+        check Alcotest.(option (float 1e-9)) "number" (Some 3.0)
+          (Option.bind (Json.member "n" row) Json.number_value)
+      | _ -> Alcotest.fail "rows shape")
+    | None -> Alcotest.fail "rows member")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"test counter" "t.count" in
+  Metrics.Counter.inc c;
+  Metrics.Counter.add c 4;
+  check Alcotest.int "counter" 5 (Metrics.Counter.value c);
+  (* registration is memoised: same name, same instrument *)
+  let c' = Metrics.counter ~registry:r ~help:"test counter" "t.count" in
+  Metrics.Counter.inc c';
+  check Alcotest.int "memoised" 6 (Metrics.Counter.value c);
+  let g = Metrics.gauge ~registry:r ~help:"test gauge" "t.gauge" in
+  Metrics.Gauge.set g 3.0;
+  Metrics.Gauge.set g 1.0;
+  check Alcotest.(float 1e-9) "gauge level" 1.0 (Metrics.Gauge.value g);
+  check Alcotest.(float 1e-9) "gauge hwm" 3.0 (Metrics.Gauge.hwm g);
+  (* a name cannot change kind *)
+  match Metrics.gauge ~registry:r ~help:"oops" "t.count" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch accepted"
+
+let test_metrics_histogram_cap () =
+  let r = Metrics.create () in
+  let h =
+    Metrics.histogram ~registry:r ~sample_cap:5 ~help:"capped" "t.hist"
+  in
+  for i = 1 to 8 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  check Alcotest.int "count keeps accumulating" 8 (Metrics.Histogram.count h);
+  check Alcotest.(float 1e-9) "sum keeps accumulating" 36.0
+    (Metrics.Histogram.sum h);
+  check Alcotest.int "samples capped" 5
+    (List.length (Metrics.Histogram.samples h));
+  check Alcotest.int "dropped accounted" 3 (Metrics.Histogram.dropped h)
+
+let test_metrics_reset_and_snapshot () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"c" "b.count" in
+  let g = Metrics.gauge ~registry:r ~help:"g" "a.gauge" in
+  let v = Metrics.counter ~registry:r ~volatile:true ~help:"v" "c.volatile" in
+  Metrics.Counter.inc c;
+  Metrics.Gauge.set g 2.0;
+  Metrics.Counter.inc v;
+  (* snapshot is sorted by name and hides volatile rows by default *)
+  let names rows = List.map Metrics.row_name rows in
+  check
+    Alcotest.(list string)
+    "sorted, volatile hidden" [ "a.gauge"; "b.count" ]
+    (names (Metrics.snapshot ~registry:r ()));
+  check
+    Alcotest.(list string)
+    "volatile on demand"
+    [ "a.gauge"; "b.count"; "c.volatile" ]
+    (names (Metrics.snapshot ~include_volatile:true ~registry:r ()));
+  (* reset zeroes in place; instruments already held stay live *)
+  Metrics.reset ~registry:r ();
+  check Alcotest.int "counter zeroed" 0 (Metrics.Counter.value c);
+  check Alcotest.(float 1e-9) "hwm zeroed" 0.0 (Metrics.Gauge.hwm g);
+  Metrics.Counter.inc c;
+  check Alcotest.int "instrument survives reset" 1 (Metrics.Counter.value c);
+  check Alcotest.int "counter_value reads registry" 1
+    (Metrics.counter_value ~registry:r "b.count");
+  check Alcotest.int "unregistered reads zero" 0
+    (Metrics.counter_value ~registry:r "no.such.metric")
+
+(* ------------------------------------------------------------------ *)
+(* Events through the sink into a trace *)
+
+let test_sink_trace () =
+  let tr = Trace.create () in
+  Trace.attach tr ~clock:(fun () -> 42.0);
+  Sink.emit ~subsystem:"test"
+    (Event.Session_transition
+       { peer = "65001"; from_state = "OpenConfirm"; to_state = "Established" });
+  Sink.emit ~time:1.5 ~level:Event.Warn ~subsystem:"test.safety"
+    (Event.Safety_verdict
+       { client = "c1";
+         prefix = Peering_net.Prefix.of_string_exn "8.8.8.0/24";
+         verdict = Event.Rejected "hijack"
+       });
+  Trace.detach ();
+  Sink.emit ~subsystem:"test" (Event.Ad_hoc "after detach: dropped");
+  check Alcotest.int "two events captured" 2 (Trace.count tr);
+  (match Trace.events tr with
+  | [ a; b ] ->
+    check Alcotest.(float 1e-9) "clock fallback" 42.0 a.Trace.time;
+    check Alcotest.(float 1e-9) "explicit time" 1.5 b.Trace.time;
+    (match a.Trace.ev with
+    | Event.Session_transition { to_state; _ } ->
+      check Alcotest.string "typed payload" "Established" to_state
+    | _ -> Alcotest.fail "wrong event payload");
+    check Alcotest.bool "rendered message mentions verdict" true
+      (Trace.find tr ~contains:"hijack" () <> [])
+  | _ -> Alcotest.fail "event shape");
+  check Alcotest.int "count_by_subsystem" 2
+    (List.length (Trace.count_by_subsystem tr))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: identical seeded runs produce identical snapshots *)
+
+let run_scenario () =
+  Metrics.reset ();
+  let params =
+    { Testbed.default_params with
+      Testbed.world =
+        { Peering_topo.Gen.default_params with
+          Peering_topo.Gen.n_stub = 900;
+          n_small_transit = 80;
+          target_prefixes = 4000
+        };
+      university_sites = [ ("gatech01", 2) ]
+    }
+  in
+  let t = Testbed.build ~params () in
+  let experiment =
+    match Testbed.new_experiment t ~id:"det" ~owner:"test" () with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  let client = Client.create ~id:"det-client" ~experiment () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let prefix = List.hd experiment.Experiment.prefixes in
+  ignore (Client.announce client prefix);
+  Client.withdraw client prefix;
+  Json.to_string ~indent:2 (Obs_report.to_json ())
+
+let test_snapshot_determinism () =
+  let a = run_scenario () in
+  let b = run_scenario () in
+  check Alcotest.string "identical snapshot JSON" a b;
+  (* and the snapshot is real: the scenario moved the counters *)
+  check Alcotest.bool "non-trivial" true
+    (Metrics.counter_value "core.safety.accepted" > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Obs_report rendering *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_obs_report () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"c" "x.count" in
+  let h = Metrics.histogram ~registry:r ~help:"h" "x.hist" in
+  Metrics.Counter.add c 7;
+  List.iter (Metrics.Histogram.observe h) [ 1.0; 2.0; 3.0 ];
+  let txt = Obs_report.render ~registry:r () in
+  check Alcotest.bool "text mentions counter" true (contains txt "x.count");
+  let json = Obs_report.to_json ~registry:r () in
+  (match Json.member "x.count" json with
+  | Some (Json.Int 7) -> ()
+  | _ -> Alcotest.fail "counter json");
+  match Json.member "x.hist" json with
+  | Some hist ->
+    check Alcotest.(option (float 1e-9)) "p50" (Some 2.0)
+      (Option.bind (Json.member "p50" hist) Json.number_value)
+  | None -> Alcotest.fail "hist json"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ tc "roundtrip" `Quick test_json_roundtrip;
+          tc "parse errors" `Quick test_json_parse_errors;
+          tc "accessors" `Quick test_json_accessors
+        ] );
+      ( "metrics",
+        [ tc "basics" `Quick test_metrics_basics;
+          tc "histogram cap" `Quick test_metrics_histogram_cap;
+          tc "reset and snapshot" `Quick test_metrics_reset_and_snapshot
+        ] );
+      ("events", [ tc "sink to trace" `Quick test_sink_trace ]);
+      ( "report",
+        [ tc "render and json" `Quick test_obs_report;
+          tc "determinism" `Slow test_snapshot_determinism
+        ] )
+    ]

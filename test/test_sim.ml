@@ -218,7 +218,7 @@ let test_trace_capacity () =
   check Alcotest.int "bounded" 10 (Trace.count tr);
   check Alcotest.int "dropped" 15 (Trace.dropped tr);
   match Trace.events tr with
-  | e :: _ -> check Alcotest.string "oldest retained" "16" e.Trace.message
+  | e :: _ -> check Alcotest.string "oldest retained" "16" (Trace.message e)
   | [] -> Alcotest.fail "no events"
 
 let () =
