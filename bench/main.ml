@@ -659,6 +659,32 @@ let a6 () =
     \  design targets.\n"
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS: fault-injection drill (robustness) *)
+
+let chaos () =
+  section "CHAOS  Fault-injection drill (graceful degradation under faults)";
+  let module Chaos = Peering_fault.Chaos in
+  let outcomes = Chaos.run_all ~seed:42 () in
+  List.iter
+    (fun (o : Chaos.outcome) ->
+      paper_vs_measured
+        ~label:(Printf.sprintf "%s (%s) reconverges" o.Chaos.scenario o.Chaos.fault_class)
+        ~paper:"yes, no routes lost"
+        ~measured:
+          (if o.Chaos.reconverged then
+             Printf.sprintf "yes in %.2f virtual s, %d lost" o.Chaos.recovery_s
+               o.Chaos.routes_lost
+           else Printf.sprintf "STUCK (%d lost)" o.Chaos.routes_lost);
+      Printf.printf "    %s\n" o.Chaos.detail)
+    outcomes;
+  let stuck =
+    List.length (List.filter (fun (o : Chaos.outcome) -> not o.Chaos.reconverged) outcomes)
+  in
+  paper_vs_measured ~label:"scenarios reconverged" ~paper:"all"
+    ~measured:
+      (Printf.sprintf "%d of %d" (List.length outcomes - stuck) (List.length outcomes))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let bechamel () =
@@ -731,7 +757,8 @@ let bechamel () =
 
 let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("f2", f2); ("e4", e4); ("t1", t1);
-    ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6) ]
+    ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6);
+    ("chaos", chaos) ]
 
 module Json = Peering_obs.Json
 module Metrics = Peering_obs.Metrics
@@ -764,46 +791,61 @@ let () =
   in
   Printf.printf "PEERING reproduction benchmark harness\n";
   collect_rows := json_file <> None;
-  let collected = ref [] in
+  (* Stream the artifact row by row with the incremental writer instead
+     of accumulating the whole document tree: a long run flushes each
+     experiment as it finishes and never holds more than one
+     experiment's rows in memory. The bytes are identical to the old
+     whole-document emitter. *)
+  let writer =
+    match json_file with
+    | None -> None
+    | Some file ->
+      let oc = open_out file in
+      let w = Json.Writer.to_channel ~indent:2 oc in
+      Json.Writer.begin_obj w;
+      Json.Writer.key w "schema";
+      Json.Writer.value w (Json.String "peering-bench/1");
+      Json.Writer.key w "experiments";
+      Json.Writer.begin_arr w;
+      Some (file, oc, w)
+  in
   List.iter
     (fun (name, f) ->
       Metrics.reset ();
       json_rows := [];
       f ();
-      if !collect_rows then begin
-        let rows =
-          List.rev_map
-            (fun (label, paper, measured) ->
-              Json.Obj
-                [ ("label", Json.String label);
-                  ("paper", Json.String paper);
-                  ("measured", Json.String measured)
-                ])
-            !json_rows
-        in
+      match writer with
+      | None -> ()
+      | Some (_, oc, w) ->
+        Json.Writer.begin_obj w;
+        Json.Writer.key w "id";
+        Json.Writer.value w (Json.String name);
+        Json.Writer.key w "rows";
+        Json.Writer.begin_arr w;
+        List.iter
+          (fun (label, paper, measured) ->
+            Json.Writer.value w
+              (Json.Obj
+                 [ ("label", Json.String label);
+                   ("paper", Json.String paper);
+                   ("measured", Json.String measured)
+                 ]))
+          (List.rev !json_rows);
+        Json.Writer.end_arr w;
         (* Only the deterministic (non-volatile) metrics go into the
            artifact, so two identically-seeded runs are byte-identical;
            wall-clock figures stay on the human transcript. *)
-        collected :=
-          Json.Obj
-            [ ("id", Json.String name);
-              ("rows", Json.List rows);
-              ("metrics", Obs_report.to_json ())
-            ]
-          :: !collected
-      end)
+        Json.Writer.key w "metrics";
+        Json.Writer.value w (Obs_report.to_json ());
+        Json.Writer.end_obj w;
+        flush oc)
     to_run;
-  (match json_file with
+  (match writer with
   | None -> ()
-  | Some file ->
-    let doc =
-      Json.Obj
-        [ ("schema", Json.String "peering-bench/1");
-          ("experiments", Json.List (List.rev !collected))
-        ]
-    in
-    let oc = open_out file in
-    output_string oc (Json.to_string ~indent:2 doc);
+  | Some (file, oc, w) ->
+    Json.Writer.end_arr w;
+    Json.Writer.end_obj w;
+    Json.Writer.close w;
     output_char oc '\n';
     close_out oc;
     Printf.printf "\n[json] wrote %s\n" file);

@@ -367,7 +367,7 @@ let stats_cmd =
         (fun (subsystem, n) -> Printf.printf "  %-24s %d\n" subsystem n)
         (Trace.count_by_subsystem trace);
       print_newline ();
-      print_string (Obs_report.render ())
+      print_string (Obs_report.render ~include_volatile:true ())
     end
   in
   Cmd.v
@@ -375,6 +375,55 @@ let stats_cmd =
        ~doc:
          "Run an instrumented scenario (experiment lifecycle + a wire BGP \
           session) and print every metric the testbed recorded")
+    Term.(const run $ seed_arg $ json_arg)
+
+let chaos_cmd =
+  let json_arg =
+    let doc = "Emit the chaos report as a JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let module Metrics = Peering_obs.Metrics in
+  let module Json = Peering_obs.Json in
+  let module Chaos = Peering_fault.Chaos in
+  let run seed json =
+    (* Reset the global registry so two same-seed invocations emit
+       byte-identical documents regardless of process history. *)
+    Metrics.reset ();
+    let outcomes = Chaos.run_all ~seed () in
+    if json then print_endline (Json.to_string ~indent:2 (Chaos.to_json ~seed outcomes))
+    else begin
+      Printf.printf "%-10s %-16s %-12s %10s %6s  %s\n" "scenario" "class"
+        "reconverged" "recovery_s" "lost" "detail";
+      List.iter
+        (fun (o : Chaos.outcome) ->
+          Printf.printf "%-10s %-16s %-12b %10.2f %6d  %s\n" o.Chaos.scenario
+            o.Chaos.fault_class o.Chaos.reconverged o.Chaos.recovery_s
+            o.Chaos.routes_lost o.Chaos.detail)
+        outcomes;
+      let stuck =
+        List.filter (fun (o : Chaos.outcome) -> not o.Chaos.reconverged) outcomes
+      in
+      let lost =
+        List.fold_left
+          (fun acc (o : Chaos.outcome) -> acc + o.Chaos.routes_lost)
+          0 outcomes
+      in
+      Printf.printf
+        "\n%d/%d scenarios reconverged; %d route%s lost overall\n"
+        (List.length outcomes - List.length stuck)
+        (List.length outcomes) lost
+        (if lost = 1 then "" else "s");
+      if stuck <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injection drill: one scenario per fault class \
+          (message loss/duplication/corruption/reordering, session reset, \
+          partition, dampened flap, mux crash, tunnel blackhole), each on a \
+          deterministic seeded engine, measuring time-to-reconverge and \
+          routes lost")
     Term.(const run $ seed_arg $ json_arg)
 
 let portal_cmd =
@@ -427,4 +476,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
-            config_cmd; check_cmd; portal_cmd; stats_cmd ]))
+            config_cmd; check_cmd; portal_cmd; stats_cmd; chaos_cmd ]))

@@ -14,10 +14,17 @@ open Peering_net
 open Peering_core
 module Gen = Peering_topo.Gen
 module Propagation = Peering_topo.Propagation
+module Engine = Peering_sim.Engine
+module Trace = Peering_sim.Trace
+module Event = Peering_obs.Event
 
 let () =
   print_endline "building testbed...";
   let t = Testbed.build () in
+  (* Record typed events so the safety layer's rulings can be asserted
+     by pattern matching instead of scraping rendered trace text. *)
+  let trace = Trace.create () in
+  Trace.attach trace ~clock:(fun () -> Engine.now (Testbed.engine t));
   (* Poisoning requires explicit vetting by the advisory board. *)
   let experiment =
     match
@@ -118,4 +125,29 @@ let () =
       "(%d stubs are single-homed behind the broken AS — no alternate path\n\
        exists for them, poisoned or not)\n"
       stranded;
+
+  (* The poisoning only worked because the experiment was vetted: every
+     safety ruling on our announcements must be an acceptance. *)
+  let verdicts =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.ev with
+        | Event.Safety_verdict { client = "lifeguard"; prefix = p; verdict }
+          when Prefix.equal p prefix -> Some verdict
+        | _ -> None)
+      (Trace.events trace)
+  in
+  let rejections =
+    List.filter
+      (function Event.Rejected _ -> true | Event.Accepted -> false)
+      verdicts
+  in
+  Printf.printf
+    "safety layer ruled %d times on %s: %d accepted, %d rejected\n"
+    (List.length verdicts) (Prefix.to_string prefix)
+    (List.length verdicts - List.length rejections)
+    (List.length rejections);
+  assert (verdicts <> []);
+  assert (rejections = []);
+  Trace.detach ();
   print_endline "done."

@@ -16,10 +16,17 @@ open Peering_net
 open Peering_core
 module Gen = Peering_topo.Gen
 module Propagation = Peering_topo.Propagation
+module Engine = Peering_sim.Engine
+module Trace = Peering_sim.Trace
+module Event = Peering_obs.Event
 
 let () =
   print_endline "building testbed...";
   let t = Testbed.build () in
+  (* Typed trace buffer: assertions below pattern-match on the event
+     payloads rather than searching rendered message text. *)
+  let trace = Trace.create () in
+  Trace.attach trace ~clock:(fun () -> Engine.now (Testbed.engine t));
   let experiment =
     match
       Testbed.new_experiment t ~id:"mitm-victim" ~owner:"security-lab"
@@ -102,4 +109,25 @@ let () =
   Testbed.retract_external t ~origin:attacker prefix;
   Printf.printf "after takedown: %d ASes route to the victim again\n"
     (Testbed.reach_count t prefix);
+
+  (* The victim's own announcements went through the safety layer and
+     were accepted at every connected site; the attacker's hijack was
+     injected in the simulated Internet and never produced a verdict. *)
+  let victim_accepts, other_verdicts =
+    List.fold_left
+      (fun (acc, others) (e : Trace.event) ->
+        match e.Trace.ev with
+        | Event.Safety_verdict
+            { client = "victim"; prefix = p; verdict = Event.Accepted }
+          when Prefix.equal p prefix -> (acc + 1, others)
+        | Event.Safety_verdict _ -> (acc, others + 1)
+        | _ -> (acc, others))
+      (0, 0) (Trace.events trace)
+  in
+  Printf.printf
+    "typed trace: %d acceptances for the victim, %d other safety verdicts\n"
+    victim_accepts other_verdicts;
+  assert (victim_accepts >= 2) (* one per connected site *);
+  assert (other_verdicts = 0);
+  Trace.detach ();
   print_endline "done."

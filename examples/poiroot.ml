@@ -14,6 +14,9 @@
 open Peering_net
 open Peering_core
 module Gen = Peering_topo.Gen
+module Engine = Peering_sim.Engine
+module Trace = Peering_sim.Trace
+module Event = Peering_obs.Event
 
 let paths_from t vantages prefix =
   List.filter_map
@@ -26,6 +29,10 @@ let paths_from t vantages prefix =
 let () =
   print_endline "building testbed...";
   let t = Testbed.build () in
+  (* Typed trace buffer: the ground-truth announcement is asserted by
+     matching event payloads, not by searching rendered text. *)
+  let trace = Trace.create () in
+  Trace.attach trace ~clock:(fun () -> Engine.now (Testbed.engine t));
   let exp =
     match
       Testbed.new_experiment t ~id:"poiroot" ~owner:"poiroot"
@@ -103,4 +110,24 @@ let () =
     (List.length intersection)
     (if List.length intersection = 1 then "" else "s");
   Testbed.set_down t root_cause false;
+
+  (* Ground truth rests on our controlled announcement actually being
+     in the control plane: the safety layer must have accepted it at
+     both connected sites and rejected nothing. *)
+  let accepted =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.ev with
+        | Event.Safety_verdict
+            { client = "poiroot"; prefix = p; verdict = Event.Accepted }
+          when Prefix.equal p prefix -> Some e.Trace.time
+        | Event.Safety_verdict { verdict = Event.Rejected reason; _ } ->
+          failwith ("safety layer rejected the controlled announcement: " ^ reason)
+        | _ -> None)
+      (Trace.events trace)
+  in
+  Printf.printf "typed trace: controlled announcement accepted %d times\n"
+    (List.length accepted);
+  assert (List.length accepted >= 2);
+  Trace.detach ();
   print_endline "done."

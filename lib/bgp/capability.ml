@@ -28,6 +28,14 @@ let negotiated_four_octet local remote =
   let has = List.exists (function Four_octet_asn _ -> true | _ -> false) in
   has local && has remote
 
+let negotiated_graceful_restart local remote =
+  let has = List.exists (function Graceful_restart _ -> true | _ -> false) in
+  if has local then
+    List.find_map
+      (function Graceful_restart t -> Some t | _ -> None)
+      remote
+  else None
+
 let equal a b =
   match (a, b) with
   | Four_octet_asn x, Four_octet_asn y -> x = y

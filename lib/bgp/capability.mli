@@ -22,5 +22,12 @@ val negotiated_add_path : t list -> t list -> bool
 
 val negotiated_four_octet : t list -> t list -> bool
 
+val negotiated_graceful_restart : t list -> t list -> int option
+(** [negotiated_graceful_restart local remote] is the peer's advertised
+    RFC 4724 restart time when both sides advertise the capability:
+    the local speaker should then act as a helper and retain the
+    peer's routes that long after the session drops. [None] if either
+    side lacks the capability. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

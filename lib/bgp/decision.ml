@@ -6,6 +6,14 @@ let m_runs =
   Metrics.counter ~help:"decision-process runs (candidate sets ranked)"
     "bgp.decision.runs"
 
+(* Wall-clock latency is inherently nondeterministic, so this histogram
+   is volatile: excluded from default snapshots to keep same-seed runs
+   byte-identical. *)
+let m_latency =
+  Metrics.histogram ~volatile:true
+    ~help:"decision-process wall-clock latency per run (s)"
+    "bgp.decision.latency_s"
+
 let default_local_pref = 100
 
 let local_pref (r : Route.t) =
@@ -83,7 +91,12 @@ let best = function
       Sink.emit ~level:Peering_obs.Event.Debug ~subsystem:"bgp.decision"
         (Peering_obs.Event.Decision_run
            { prefix = r.Route.prefix; candidates = 1 + List.length rest });
-    Some (List.fold_left (fun acc c -> if compare c acc < 0 then c else acc) r rest)
+    let t0 = Sys.time () in
+    let winner =
+      List.fold_left (fun acc c -> if compare c acc < 0 then c else acc) r rest
+    in
+    Metrics.Histogram.observe m_latency (Sys.time () -. t0);
+    Some winner
 
 let sort l = List.stable_sort compare l
 

@@ -28,6 +28,10 @@ let m_notifications_rx =
 let m_fsm_errors =
   Metrics.counter ~help:"messages rejected as FSM errors" "bgp.fsm.errors"
 
+let m_auto_restarts =
+  Metrics.counter ~help:"automatic session restarts scheduled after a close"
+    "bgp.fsm.auto_restarts"
+
 type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
 
 let state_to_string = function
@@ -43,6 +47,7 @@ type config = {
   router_id : Ipv4.t;
   hold_time : int;
   connect_retry : float;
+  auto_restart : bool;
   capabilities : Capability.t list;
   passive : bool;
 }
@@ -52,6 +57,7 @@ let default_config ~local_asn ~router_id =
     router_id;
     hold_time = 90;
     connect_retry = 5.0;
+    auto_restart = false;
     capabilities = [ Capability.Four_octet_asn (Asn.to_int local_asn) ];
     passive = false
   }
@@ -74,6 +80,10 @@ type t = {
   mutable hold_interval : float;  (** negotiated hold time; 0 = disabled *)
   mutable timer_generation : int;  (** invalidates stale timer events *)
   mutable established_count : int;
+  mutable retry_backoff : float;  (** current IdleHoldTime base, seconds *)
+  mutable admin_down : bool;  (** administratively stopped; no auto-restart *)
+  mutable gr_time : int option;
+      (** peer's RFC 4724 restart time, once negotiated; survives close *)
 }
 
 let create engine config cb =
@@ -86,13 +96,17 @@ let create engine config cb =
     hold_deadline = infinity;
     hold_interval = 0.0;
     timer_generation = 0;
-    established_count = 0
+    established_count = 0;
+    retry_backoff = config.connect_retry;
+    admin_down = false;
+    gr_time = None
   }
 
 let state t = t.state
 let negotiated t = t.negotiated
 let peer_open t = t.peer_open
 let established_count t = t.established_count
+let graceful_restart_time t = t.gr_time
 
 let peer_label t =
   match t.peer_open with
@@ -125,14 +139,61 @@ let my_open t =
 
 let bump_timers t = t.timer_generation <- t.timer_generation + 1
 
-let close t reason =
+(* Reconnect backoff: each failed attempt doubles the IdleHoldTime up
+   to a cap; the actual delay is jittered from the engine RNG so
+   synchronized flaps desynchronize, yet identical seeds replay the
+   same timeline (RFC 4271 §8.2.1's DampPeerOscillations, condensed). *)
+let max_retry_backoff = 120.0
+
+let rec schedule_restart t =
+  let jitter = 0.75 +. Peering_sim.Rng.float (Engine.rng t.engine) 0.5 in
+  let delay = t.retry_backoff *. jitter in
+  t.retry_backoff <- Float.min (t.retry_backoff *. 2.0) max_retry_backoff;
+  Metrics.Counter.inc m_auto_restarts;
+  let generation = t.timer_generation in
+  Engine.schedule t.engine ~delay (fun () ->
+      if generation = t.timer_generation && t.state = Idle && not t.admin_down
+      then start t)
+
+and start t =
+  match t.state with
+  | Idle ->
+    t.admin_down <- false;
+    if t.config.passive then set_state t Active
+    else begin
+      set_state t Open_sent;
+      t.cb.send (my_open t);
+      if t.config.auto_restart then begin
+        let generation = t.timer_generation in
+        Engine.schedule t.engine ~delay:t.retry_backoff
+          (connect_check t generation)
+      end
+    end
+  | Connect | Active | Open_sent | Open_confirm | Established -> ()
+
+and connect_check t generation () =
+  (* The OPEN we sent got no answer inside the retry window (lost on a
+     lossy link, or the peer is partitioned away): give up on this
+     attempt and go back to Idle, from where the backed-off restart
+     timer tries again. *)
+  if
+    generation = t.timer_generation
+    &&
+    match t.state with
+    | Open_sent | Open_confirm -> true
+    | Idle | Connect | Active | Established -> false
+  then close t "connect retry expired"
+
+and close ?(restart = true) t reason =
   if t.state <> Idle then begin
     bump_timers t;
     Metrics.Counter.inc m_closed;
     set_state t Idle;
     t.peer_open <- None;
     t.negotiated <- None;
-    t.cb.on_close reason
+    t.cb.on_close reason;
+    if restart && t.config.auto_restart && not t.admin_down then
+      schedule_restart t
   end
 
 let rec keepalive_tick t generation () =
@@ -172,6 +233,10 @@ let enter_established t =
     }
   in
   t.negotiated <- Some opts;
+  t.gr_time <-
+    Capability.negotiated_graceful_restart t.config.capabilities
+      peer.capabilities;
+  t.retry_backoff <- t.config.connect_retry;
   set_state t Established;
   Metrics.Counter.inc m_established;
   t.established_count <- t.established_count + 1;
@@ -190,23 +255,28 @@ let touch_hold t =
   if t.hold_interval > 0.0 then
     t.hold_deadline <- Engine.now t.engine +. t.hold_interval
 
-let start t =
-  match t.state with
-  | Idle ->
-    if t.config.passive then set_state t Active
-    else begin
-      set_state t Open_sent;
-      t.cb.send (my_open t)
-    end
-  | Connect | Active | Open_sent | Open_confirm | Established -> ()
-
 let stop t ~reason =
+  t.admin_down <- true;
   if t.state = Established || t.state = Open_confirm || t.state = Open_sent
   then
     t.cb.send
       (Message.Notification
          { code = Message.Error.cease; subcode = 0; reason });
+  close ~restart:false t reason
+
+let kill t ~reason =
+  (* Transport loss (crash, RST, fault injection): no NOTIFICATION
+     makes it onto the wire; the peer finds out via its own timers. *)
   close t reason
+
+let handle_garbage t ~reason =
+  if t.state <> Idle then begin
+    Metrics.Counter.inc m_fsm_errors;
+    t.cb.send
+      (Message.Notification
+         { code = Message.Error.message_header; subcode = 0; reason });
+    close t reason
+  end
 
 let fsm_error t got =
   Metrics.Counter.inc m_fsm_errors;

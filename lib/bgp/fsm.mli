@@ -15,13 +15,21 @@ type config = {
   local_asn : Asn.t;
   router_id : Ipv4.t;
   hold_time : int;  (** proposed hold time, seconds *)
-  connect_retry : float;  (** seconds between connection attempts *)
+  connect_retry : float;
+      (** initial seconds between connection attempts; with
+          [auto_restart] this is the IdleHoldTime base, doubled (with
+          jitter from the engine RNG) on every failed attempt up to a
+          cap, and reset on reaching Established *)
+  auto_restart : bool;
+      (** if true, non-administrative closes schedule a reconnect with
+          exponential backoff; {!stop} never auto-restarts *)
   capabilities : Capability.t list;
   passive : bool;  (** if true, wait for the peer's OPEN before sending ours *)
 }
 
 val default_config : local_asn:Asn.t -> router_id:Ipv4.t -> config
-(** hold 90 s, retry 5 s, 4-octet-ASN capability, active mode. *)
+(** hold 90 s, retry 5 s, no auto-restart, 4-octet-ASN capability,
+    active mode. *)
 
 type callbacks = {
   send : Message.t -> unit;
@@ -39,7 +47,17 @@ val start : t -> unit
 (** Begin session establishment (ManualStart event). *)
 
 val stop : t -> reason:string -> unit
-(** Administratively close (sends CEASE if established). *)
+(** Administratively close (sends CEASE if established). Suppresses
+    [auto_restart] until the next explicit {!start}. *)
+
+val kill : t -> reason:string -> unit
+(** Transport loss: close without sending a NOTIFICATION (the peer
+    discovers the failure through its own timers). Auto-restarts when
+    the config asks for it. *)
+
+val handle_garbage : t -> reason:string -> unit
+(** The wire delivered undecodable bytes (corruption fault): counts an
+    FSM error, sends a message-header NOTIFICATION and closes. *)
 
 val handle : t -> Message.t -> unit
 (** Deliver a message received from the peer. *)
@@ -57,3 +75,8 @@ val peer_label : t -> string
 
 val established_count : t -> int
 (** Number of times this FSM has reached Established (flap counting). *)
+
+val graceful_restart_time : t -> int option
+(** The peer's RFC 4724 restart time, once both sides negotiated the
+    capability. Deliberately survives a close: the helper needs it
+    exactly when the session is down. *)

@@ -31,7 +31,22 @@ val withdraw : t -> peer:string -> ?path_id:int -> Prefix.t -> change option
 
 val drop_peer : t -> peer:string -> change list
 (** Remove every route learned from [peer] (session teardown),
-    reporting all resulting best-route changes. *)
+    reporting all resulting best-route changes. Clears any stale
+    marks for the peer. *)
+
+val mark_stale : t -> peer:string -> int
+(** RFC 4724 helper entry: mark every route currently learned from
+    [peer] as stale — the routes stay installed and keep forwarding —
+    and return how many were marked. A subsequent {!announce} or
+    {!withdraw} for a (path, prefix) refreshes it (clears the mark). *)
+
+val sweep_stale : t -> peer:string -> change list
+(** RFC 4724 helper exit: withdraw every route still marked stale for
+    [peer] (the restarting speaker never re-announced them), reporting
+    the resulting best-route changes. *)
+
+val stale_count : t -> peer:string -> int
+(** Routes currently marked stale for [peer]. *)
 
 val peers : t -> string list
 (** Peers with at least one route, sorted. *)

@@ -12,6 +12,12 @@ let m_wire_bytes =
 let m_updates_tx =
   Metrics.counter ~help:"UPDATE messages transmitted" "bgp.session.updates_tx"
 
+let m_decode_errors =
+  Metrics.counter ~help:"messages that failed wire decoding at the receiver"
+    "bgp.wire.decode_errors"
+
+type wire_fault = Drop | Duplicate | Corrupt | Delay of float
+
 type endpoint = { fsm : Fsm.t; addr : Ipv4.t }
 
 type t = {
@@ -21,7 +27,10 @@ type t = {
   mutable b : endpoint;
   mutable bytes : int;
   mutable messages : int;
+  mutable fault_hook : (Message.t -> wire_fault option) option;
 }
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 (* Encode with the sender's negotiated options (default before
    negotiation), deliver the bytes after [latency], decode with the
@@ -46,16 +55,37 @@ let transmit t ~(sender : unit -> Fsm.t) ~(receiver : unit -> Fsm.t) msg =
              withdrawn = List.length u.Message.withdrawn
            })
   | Message.Open _ | Message.Keepalive | Message.Notification _ -> ());
-  Engine.schedule t.engine ~delay:t.latency (fun () ->
-      let rx = receiver () in
-      let opts =
-        Option.value (Fsm.negotiated rx) ~default:Wire.default_opts
-      in
-      match Wire.decode opts bytes ~pos:0 with
-      | Ok (msg, _) -> Fsm.handle rx msg
-      | Error e ->
-        (* A decode failure is a protocol bug; surface loudly. *)
-        failwith ("Session: wire decode failed: " ^ Wire.error_to_string e))
+  let deliver ?(extra = 0.0) bytes =
+    Engine.schedule t.engine ~delay:(t.latency +. extra) (fun () ->
+        let rx = receiver () in
+        let opts =
+          Option.value (Fsm.negotiated rx) ~default:Wire.default_opts
+        in
+        match Wire.decode opts bytes ~pos:0 with
+        | Ok (msg, _) -> Fsm.handle rx msg
+        | Error e ->
+          Metrics.Counter.inc m_decode_errors;
+          Fsm.handle_garbage rx
+            ~reason:("wire decode failed: " ^ Wire.error_to_string e))
+  in
+  match t.fault_hook with
+  | None -> deliver bytes
+  | Some hook -> (
+    match hook msg with
+    | None -> deliver bytes
+    | Some Drop -> ()
+    | Some Duplicate ->
+      deliver bytes;
+      deliver bytes
+    | Some (Delay extra) -> deliver ~extra bytes
+    | Some Corrupt ->
+      (* Smash the marker so the receiver sees unparseable bytes no
+         matter which message type was in flight. *)
+      let corrupted = Bytes.copy bytes in
+      if Bytes.length corrupted > 0 then
+        Bytes.set corrupted 0
+          (Char.chr (Char.code (Bytes.get corrupted 0) lxor 0xFF));
+      deliver corrupted)
 
 let nop_established (_ : Wire.session_opts) = ()
 let nop_update (_ : Message.update) = ()
@@ -82,7 +112,8 @@ let create engine ?(latency = 0.01) ~a:(cfg_a, addr_a) ~b:(cfg_b, addr_b)
       a = { fsm = placeholder; addr = addr_a };
       b = { fsm = placeholder; addr = addr_b };
       bytes = 0;
-      messages = 0
+      messages = 0;
+      fault_hook = None
     }
   in
   let fsm_a =
@@ -136,3 +167,9 @@ let send_from_b t msg =
 let bytes_on_wire t = t.bytes
 let messages_on_wire t = t.messages
 let drop t ~reason = Fsm.stop t.a.fsm ~reason
+
+let reset t ~reason =
+  (* Transport-level reset: both FSMs lose the connection at once and
+     neither gets a NOTIFICATION on the wire. *)
+  Fsm.kill t.a.fsm ~reason;
+  Fsm.kill t.b.fsm ~reason

@@ -14,6 +14,13 @@ type endpoint = {
   addr : Ipv4.t;  (** this side's session address *)
 }
 
+(** What a fault hook may do to one in-flight message. *)
+type wire_fault =
+  | Drop  (** the message never arrives *)
+  | Duplicate  (** the message arrives twice *)
+  | Corrupt  (** the marker is smashed so decoding fails at the receiver *)
+  | Delay of float  (** extra seconds added to the wire latency *)
+
 type t
 
 val create :
@@ -57,3 +64,14 @@ val messages_on_wire : t -> int
 
 val drop : t -> reason:string -> unit
 (** Tear the session down from side [a]. *)
+
+val reset : t -> reason:string -> unit
+(** Transport reset: both FSMs close at once without NOTIFICATIONs, as
+    if the TCP connection was torn down underneath them. Each side
+    auto-restarts if its config asks for it. *)
+
+val set_fault_hook : t -> (Message.t -> wire_fault option) option -> unit
+(** Install (or clear, with [None]) a hook consulted for every message
+    placed on the wire; returning [Some fault] impairs that delivery.
+    Used by the fault-injection layer — the hook decides, the session
+    obeys. *)

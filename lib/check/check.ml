@@ -30,6 +30,8 @@ let () =
     Config_checks.duplicate_networks;
   r ~name:"nbr-nopolicy" ~about:"neighbors have policy attached"
     Config_checks.neighbors_without_policy;
+  r ~name:"timers" ~about:"BGP timers are not degenerate"
+    Config_checks.degenerate_timers;
   Registry.register cross_config_registry ~name:"sessions"
     ~about:"paired configs agree on remote-as and addresses"
     Config_checks.sessions;
@@ -95,6 +97,9 @@ let codes =
     ( "NBR-NOPOLICY",
       Diagnostic.Warning,
       "neighbor without route-maps in either direction" );
+    ( "TIMER-DEGEN",
+      Diagnostic.Error,
+      "hold time below the keepalive interval, or zero connect-retry" );
     ( "SESSION-MISMATCH",
       Diagnostic.Error,
       "paired configs disagree on remote-as or addresses" );

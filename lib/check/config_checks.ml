@@ -11,6 +11,7 @@ let c_pfxlist_shadow = "PFXLIST-SHADOW"
 let c_pfxlist_bounds = "PFXLIST-BOUNDS"
 let c_net_dup = "NET-DUP"
 let c_nbr_nopolicy = "NBR-NOPOLICY"
+let c_timer_degen = "TIMER-DEGEN"
 let c_session_mismatch = "SESSION-MISMATCH"
 
 let neighbors cfg =
@@ -289,6 +290,58 @@ let neighbors_without_policy cfg =
                 (Ipv4.to_string n.Config.addr)
                 (Asn.to_string n.Config.remote_as)))
       | _ -> None)
+    (neighbors cfg)
+
+(* Degenerate BGP timers. A hold time below the keepalive interval
+   expires before the first keepalive can possibly arrive, so the
+   session flaps on its own schedule (hold time 0 disables the timer
+   and is fine, RFC 4271 section 4.2). A zero connect-retry spins the
+   FSM through Connect as fast as the event loop allows. *)
+let degenerate_timers cfg =
+  List.concat_map
+    (fun (n : Config.neighbor_config) ->
+      let line = Option.value n.Config.timers_line ~default:n.Config.nbr_line in
+      let who =
+        Printf.sprintf "neighbor %s (%s)"
+          (Ipv4.to_string n.Config.addr)
+          (Asn.to_string n.Config.remote_as)
+      in
+      let hold_vs_keepalive =
+        match n.Config.holdtime with
+        | Some h when h > 0 ->
+          (* With no explicit keepalive, routers derive one as hold/3;
+             only an explicit larger keepalive can contradict the hold
+             time. *)
+          (match n.Config.keepalive with
+          | Some k when h < k ->
+            [ Diagnostic.error ~code:c_timer_degen ~line
+                ~hint:
+                  (Printf.sprintf
+                     "set the hold time to at least 3x the keepalive \
+                      interval (e.g. 'timers %d %d')"
+                     k (3 * k))
+                (Printf.sprintf
+                   "%s: hold time %ds is below the keepalive interval %ds; \
+                    the session expires before the first keepalive arrives"
+                   who h k)
+            ]
+          | Some _ | None -> [])
+        | Some _ | None -> []
+      in
+      let zero_retry =
+        match n.Config.connect_retry_s with
+        | Some 0 ->
+          [ Diagnostic.warning ~code:c_timer_degen ~line
+              ~hint:"use a connect-retry of a few seconds so failed \
+                     connects back off instead of busy-looping"
+              (Printf.sprintf
+                 "%s: connect-retry of 0s retries failed connects without \
+                  any backoff"
+                 who)
+          ]
+        | Some _ | None -> []
+      in
+      hold_vs_keepalive @ zero_retry)
     (neighbors cfg)
 
 (* ------------------------------------------------------------------ *)

@@ -16,6 +16,8 @@
     - [PFXLIST-BOUNDS] (error): ge/le bounds that can never match
     - [NET-DUP] (warning): the same network declared twice
     - [NBR-NOPOLICY] (warning): neighbor with no route-map attached
+    - [TIMER-DEGEN] (error/warning): hold time below the keepalive
+      interval, or a zero connect-retry that busy-loops
     - [SESSION-MISMATCH] (error): paired configs disagree on
       remote-as/addresses *)
 
@@ -31,6 +33,7 @@ val shadowed_prefix_rules : Config.t -> Diagnostic.t list
 val impossible_bounds : Config.t -> Diagnostic.t list
 val duplicate_networks : Config.t -> Diagnostic.t list
 val neighbors_without_policy : Config.t -> Diagnostic.t list
+val degenerate_timers : Config.t -> Diagnostic.t list
 
 val sessions : (string option * Config.t) list -> Diagnostic.t list
 (** Cross-config consistency: for every pair of configs whose ASNs

@@ -23,8 +23,10 @@ type reason =
   | Poisoning_not_permitted of Asn.t
   | Dampened of float
   | Announced_by_other_experiment
+  | Mux_down
 
 let reason_to_string = function
+  | Mux_down -> "mux is down (crashed, awaiting restart)"
   | Experiment_not_active -> "experiment is not active"
   | Prefix_not_owned -> "prefix is not PEERING address space (hijack)"
   | Prefix_not_allocated -> "prefix is not allocated to this experiment"

@@ -22,6 +22,9 @@ type reason =
       (** public ASN in the path suffix without vetting *)
   | Dampened of float  (** suppressed until the given virtual time *)
   | Announced_by_other_experiment
+  | Mux_down
+      (** the serving mux has crashed and not yet restarted; retry
+          after failover *)
 
 val reason_to_string : reason -> string
 

@@ -23,6 +23,20 @@ let m_withdraws_exported =
   Metrics.counter ~help:"client withdrawals exported to peers"
     "core.server.withdraws_exported"
 
+let m_crashes =
+  Metrics.counter ~help:"mux crashes injected" "core.server.crashes"
+
+let m_restarts =
+  Metrics.counter ~help:"mux restarts after a crash" "core.server.restarts"
+
+let m_failovers =
+  Metrics.counter ~help:"client sessions re-synchronized after a mux restart"
+    "core.server.client_failovers"
+
+let m_downtime =
+  Metrics.histogram ~help:"mux downtime per crash/restart cycle (virtual s)"
+    "core.server.downtime_s"
+
 type mux_mode = Per_peer_sessions | Add_path_mux
 
 type peer_kind = Transit | Ixp_peer | Route_server_peer
@@ -51,7 +65,9 @@ type client_conn = {
   id : string;
   experiment : Experiment.t;
   callbacks : client_callbacks option;
-  mutable announced : Asn.Set.t Prefix.Map.t;  (* prefix -> target peers *)
+  (* prefix -> (target peers, sanitized path suffix): enough state to
+     re-issue the export after a mux restart *)
+  mutable announced : (Asn.Set.t * Asn.t list) Prefix.Map.t;
 }
 
 type t = {
@@ -65,6 +81,8 @@ type t = {
   (* peer asn -> (prefix -> route as learned) *)
   learned : (int, Route.t Prefix.Map.t ref) Hashtbl.t;
   mutable conns : client_conn list;
+  mutable up : bool;
+  mutable crashed_at : float option;
 }
 
 let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
@@ -76,7 +94,9 @@ let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
     export;
     peer_list = [];
     learned = Hashtbl.create 64;
-    conns = []
+    conns = [];
+    up = true;
+    crashed_at = None
   }
 
 let name t = t.server_name
@@ -139,29 +159,34 @@ let n_clients t = List.length t.conns
 
 let announce t ~client ?peers ?(path_suffix = []) prefix =
   let conn = find_conn_exn t client in
-  let now = Engine.now t.engine in
-  match
-    Safety.check_announce t.safety ~now ~client ~experiment:conn.experiment
-      ~prefix ~path_suffix
-  with
-  | Error e -> Error e
-  | Ok () ->
-    let sanitized = Safety.sanitize_suffix t.safety conn.experiment path_suffix in
-    let all_peers = Asn.Set.of_list (peer_asns t) in
-    let targets =
-      match peers with
-      | None -> all_peers
-      | Some l -> Asn.Set.inter all_peers (Asn.Set.of_list l)
-    in
-    conn.announced <- Prefix.Map.add prefix targets conn.announced;
-    Metrics.Counter.inc m_announces_exported;
-    t.export
-      (Export_announce { client; prefix; path_suffix = sanitized; peers = targets });
-    Ok ()
+  if not t.up then Error Safety.Mux_down
+  else
+    let now = Engine.now t.engine in
+    match
+      Safety.check_announce t.safety ~now ~client ~experiment:conn.experiment
+        ~prefix ~path_suffix
+    with
+    | Error e -> Error e
+    | Ok () ->
+      let sanitized =
+        Safety.sanitize_suffix t.safety conn.experiment path_suffix
+      in
+      let all_peers = Asn.Set.of_list (peer_asns t) in
+      let targets =
+        match peers with
+        | None -> all_peers
+        | Some l -> Asn.Set.inter all_peers (Asn.Set.of_list l)
+      in
+      conn.announced <- Prefix.Map.add prefix (targets, sanitized) conn.announced;
+      Metrics.Counter.inc m_announces_exported;
+      t.export
+        (Export_announce
+           { client; prefix; path_suffix = sanitized; peers = targets });
+      Ok ()
 
 let withdraw t ~client prefix =
   let conn = find_conn_exn t client in
-  if Prefix.Map.mem prefix conn.announced then begin
+  if t.up && Prefix.Map.mem prefix conn.announced then begin
     conn.announced <- Prefix.Map.remove prefix conn.announced;
     Safety.note_withdraw t.safety ~now:(Engine.now t.engine) ~client ~prefix;
     Metrics.Counter.inc m_withdraws_exported;
@@ -189,6 +214,7 @@ let peer_of_asn t peer_asn =
 let learn_route t ~peer ~path prefix =
   match peer_of_asn t peer with
   | None -> invalid_arg "Server.learn_route: unknown peer"
+  | Some _ when not t.up -> ()  (* crashed mux hears nothing *)
   | Some p ->
     let attrs =
       Attrs.make ~as_path:(As_path.of_asns path) ~next_hop:p.addr ()
@@ -214,13 +240,56 @@ let learn_route t ~peer ~path prefix =
 
 let withdraw_learned t ~peer prefix =
   let table = peer_table t peer in
-  if Prefix.Map.mem prefix !table then begin
+  if t.up && Prefix.Map.mem prefix !table then begin
     table := Prefix.Map.remove prefix !table;
     List.iter
       (fun conn ->
         match conn.callbacks with
         | Some cb -> cb.route_withdraw ~peer prefix
         | None -> ())
+      t.conns
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Crash / restart (fault injection) *)
+
+let is_up t = t.up
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.crashed_at <- Some (Engine.now t.engine);
+    (* The BGP process dies with its Adj-RIBs-In; upstream routes must
+       be re-learned after restart. Client registrations (and the
+       safety registry) live in the controller and survive. *)
+    Hashtbl.reset t.learned;
+    Metrics.Counter.inc m_crashes
+  end
+
+let restart t =
+  if not t.up then begin
+    t.up <- true;
+    Metrics.Counter.inc m_restarts;
+    (match t.crashed_at with
+    | Some at -> Metrics.Histogram.observe m_downtime (Engine.now t.engine -. at)
+    | None -> ());
+    t.crashed_at <- None;
+    (* Failover: re-issue every client's surviving announcements so
+       Adj-RIBs-Out resynchronize without client involvement. *)
+    List.iter
+      (fun conn ->
+        if not (Prefix.Map.is_empty conn.announced) then
+          Metrics.Counter.inc m_failovers;
+        Prefix.Map.iter
+          (fun prefix (targets, sanitized) ->
+            t.export
+              (Export_announce
+                 { client = conn.id;
+                   prefix;
+                   path_suffix = sanitized;
+                   peers = targets
+                 }))
+          conn.announced)
       t.conns
   end
 

@@ -107,6 +107,21 @@ val withdraw_learned : t -> peer:Asn.t -> Prefix.t -> unit
 val learned_route_count : t -> int
 val routes_from_peer : t -> Asn.t -> int
 
+val is_up : t -> bool
+(** False between {!crash} and {!restart}. *)
+
+val crash : t -> unit
+(** Fault injection: the mux's BGP process dies. Learned routes are
+    lost, {!announce} returns [Mux_down], and learn/withdraw traffic is
+    ignored until {!restart}. Client registrations and the safety
+    registry survive (they live in the controller). *)
+
+val restart : t -> unit
+(** Bring a crashed mux back: records the downtime histogram and
+    re-issues every client's surviving announcements (failover) so
+    upstream Adj-RIBs-Out resynchronize without client involvement.
+    Peer-learned routes must be re-fed by the testbed. *)
+
 type session_stats = {
   mode : mux_mode;
   n_peers : int;

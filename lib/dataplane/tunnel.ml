@@ -10,6 +10,10 @@ let m_packets =
 let m_bytes =
   Metrics.counter ~help:"bytes carried through tunnels" "dataplane.tunnel.bytes"
 
+let m_blackholed =
+  Metrics.counter ~help:"packets silently dropped by blackholed tunnels"
+    "dataplane.tunnel.blackholed_packets"
+
 type t = {
   fwd : Forwarder.t;
   engine : Engine.t;
@@ -19,6 +23,7 @@ type t = {
   via_a : Forwarder.node_id;  (* virtual node: entrance at [a] *)
   via_b : Forwarder.node_id;
   mutable up : bool;
+  mutable blackhole : bool;
   mutable bytes : int;
   mutable packets : int;
 }
@@ -31,8 +36,8 @@ let establish fwd engine ?(latency = 0.02) ~a ~b () =
   let via_a = Printf.sprintf "%s@%s" tag a in
   let via_b = Printf.sprintf "%s@%s" tag b in
   let t =
-    { fwd; engine; latency; a; b; via_a; via_b; up = true; bytes = 0;
-      packets = 0 }
+    { fwd; engine; latency; a; b; via_a; via_b; up = true; blackhole = false;
+      bytes = 0; packets = 0 }
   in
   (* The virtual entrance nodes deliver everything locally, then we
      re-inject at the far end. *)
@@ -40,7 +45,12 @@ let establish fwd engine ?(latency = 0.02) ~a ~b () =
     Forwarder.add_node fwd entrance;
     Forwarder.set_route fwd entrance (Prefix.make (Ipv4.of_int 0) 0) Fib.Local;
     Forwarder.on_deliver fwd entrance (fun pkt ->
-        if t.up then begin
+        if t.blackhole then
+          (* Blackhole fault: the FIB still points into the tunnel, so
+             packets keep arriving — and vanish. That silent loss is
+             exactly what the fault models. *)
+          Metrics.Counter.inc m_blackholed
+        else if t.up then begin
           t.bytes <- t.bytes + pkt.Packet.size;
           t.packets <- t.packets + 1;
           Metrics.Counter.inc m_packets;
@@ -82,5 +92,7 @@ let route_via t ~at prefix =
 
 let tear_down t = t.up <- false
 let is_up t = t.up
+let set_blackhole t on = t.blackhole <- on
+let blackholed t = t.blackhole
 let bytes_carried t = t.bytes
 let packets_carried t = t.packets

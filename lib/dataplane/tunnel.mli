@@ -37,6 +37,13 @@ val route_via : t -> at:Forwarder.node_id -> Prefix.t -> unit
 
 val tear_down : t -> unit
 
+val set_blackhole : t -> bool -> unit
+(** Fault injection: while set, packets entering the tunnel are
+    silently dropped (and counted) instead of delivered — the FIB
+    still steers traffic in, which is what makes the loss silent. *)
+
+val blackholed : t -> bool
+
 val is_up : t -> bool
 val bytes_carried : t -> int
 val packets_carried : t -> int

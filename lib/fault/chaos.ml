@@ -1,0 +1,524 @@
+open Peering_net
+open Peering_bgp
+open Peering_core
+module Engine = Peering_sim.Engine
+module Rng = Peering_sim.Rng
+module Router = Peering_router.Router
+module Metrics = Peering_obs.Metrics
+module Json = Peering_obs.Json
+
+let recovery_hist cls =
+  Metrics.histogram
+    ~labels:[ ("class", cls) ]
+    ~help:"time from fault injection to reconvergence (virtual s)"
+    "fault.recovery_s"
+
+type outcome = {
+  scenario : string;
+  fault_class : string;
+  reconverged : bool;
+  recovery_s : float;
+  routes_lost : int;
+  detail : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Harness: two routers exchanging full tables over one fault target *)
+
+let addr1 = Ipv4.of_octets 192 168 0 1
+let addr2 = Ipv4.of_octets 192 168 0 2
+
+type pair = {
+  engine : Engine.t;
+  r1 : Router.t;
+  r2 : Router.t;
+  session : Session.t;
+  injector : Injector.t;
+  n_prefixes : int;
+}
+
+let make_pair ~seed ?(hold_time = 90) ?graceful_restart ?(n_prefixes = 8) () =
+  let engine = Engine.create ~seed () in
+  let mk asn router_id =
+    Router.create engine ~asn:(Asn.of_int asn) ~router_id ~hold_time
+      ?graceful_restart ()
+  in
+  let r1 = mk 65001 addr1 and r2 = mk 65002 addr2 in
+  for i = 0 to n_prefixes - 1 do
+    Router.originate r1 (Prefix.make (Ipv4.of_octets 10 0 i 0) 24);
+    Router.originate r2 (Prefix.make (Ipv4.of_octets 10 1 i 0) 24)
+  done;
+  let session =
+    Router.connect engine ~auto_restart:true (r1, addr1) (r2, addr2)
+  in
+  let injector = Injector.create engine in
+  Injector.add_link injector ~name:"link" session;
+  { engine; r1; r2; session; injector; n_prefixes }
+
+let converged p =
+  let full = 2 * p.n_prefixes in
+  Session.established p.session
+  && Router.table_size p.r1 = full
+  && Router.table_size p.r2 = full
+
+(* Advance in small slices until [pred] holds; the slice size bounds
+   the measurement granularity, not the protocol timing. *)
+let wait_until engine pred ~timeout =
+  let deadline = Engine.now engine +. timeout in
+  let rec go () =
+    if pred () then Some (Engine.now engine)
+    else if Engine.now engine >= deadline then None
+    else begin
+      Engine.run_for engine 0.25;
+      go ()
+    end
+  in
+  go ()
+
+let routes_lost p =
+  let full = 2 * p.n_prefixes in
+  max 0 (full - Router.table_size p.r1)
+  + max 0 (full - Router.table_size p.r2)
+
+(* A scenario that impairs the single router-router link with [plan]
+   (relative times), then waits for the world to look exactly as it
+   did before the fault. *)
+let link_scenario ~name ~fault_class ~seed ?(hold_time = 90) ?graceful_restart
+    ~plan ~fault_horizon () =
+  let p = make_pair ~seed ~hold_time ?graceful_restart () in
+  match wait_until p.engine (fun () -> converged p) ~timeout:60.0 with
+  | None ->
+    { scenario = name;
+      fault_class;
+      reconverged = false;
+      recovery_s = Float.nan;
+      routes_lost = routes_lost p;
+      detail = "never converged before fault injection"
+    }
+  | Some _ ->
+    let fault_start = Engine.now p.engine in
+    Injector.arm p.injector plan;
+    let settled =
+      wait_until p.engine
+        (fun () ->
+          Engine.now p.engine >= fault_start +. fault_horizon && converged p)
+        ~timeout:(fault_horizon +. 600.0)
+    in
+    let recovery_s =
+      match settled with
+      | Some at -> at -. fault_start
+      | None -> Float.nan
+    in
+    let reconverged = settled <> None in
+    if reconverged then
+      Metrics.Histogram.observe (recovery_hist fault_class) recovery_s;
+    { scenario = name;
+      fault_class;
+      reconverged;
+      recovery_s;
+      routes_lost = routes_lost p;
+      detail =
+        Printf.sprintf "sessions established %d times"
+          (Fsm.established_count (Session.a p.session).Session.fsm)
+    }
+
+let loss_scenario ~seed =
+  link_scenario ~name:"loss" ~fault_class:"impair" ~seed ~hold_time:9
+    ~plan:
+      (Plan.of_steps
+         [ { Plan.at = 0.5;
+             fault =
+               Plan.Impair
+                 { link = "link";
+                   profile = Plan.lossy ~loss:0.30 ();
+                   duration = 30.0
+                 }
+           } ])
+    ~fault_horizon:30.5 ()
+
+let duplicate_scenario ~seed =
+  link_scenario ~name:"duplicate" ~fault_class:"impair" ~seed
+    ~plan:
+      (Plan.of_steps
+         [ { Plan.at = 0.5;
+             fault =
+               Plan.Impair
+                 { link = "link";
+                   profile = Plan.lossy ~duplicate:0.50 ();
+                   duration = 20.0
+                 }
+           } ])
+    ~fault_horizon:20.5 ()
+
+let corrupt_scenario ~seed =
+  link_scenario ~name:"corrupt" ~fault_class:"impair" ~seed ~hold_time:9
+    ~plan:
+      (Plan.of_steps
+         [ { Plan.at = 0.5;
+             fault =
+               Plan.Impair
+                 { link = "link";
+                   profile = Plan.lossy ~corrupt:0.05 ();
+                   duration = 20.0
+                 }
+           } ])
+    ~fault_horizon:20.5 ()
+
+let reorder_scenario ~seed =
+  link_scenario ~name:"reorder" ~fault_class:"impair" ~seed
+    ~plan:
+      (Plan.of_steps
+         [ { Plan.at = 0.5;
+             fault =
+               Plan.Impair
+                 { link = "link";
+                   profile =
+                     Plan.lossy ~reorder:0.50 ~reorder_max_delay:0.4 ();
+                   duration = 20.0
+                 }
+           } ])
+    ~fault_horizon:20.5 ()
+
+(* Session reset under graceful restart: the interesting assertion is
+   that routes are *retained* while the session is down. *)
+let reset_scenario ~seed =
+  let p = make_pair ~seed ~graceful_restart:60 () in
+  match wait_until p.engine (fun () -> converged p) ~timeout:60.0 with
+  | None ->
+    { scenario = "reset";
+      fault_class = "session_reset";
+      reconverged = false;
+      recovery_s = Float.nan;
+      routes_lost = routes_lost p;
+      detail = "never converged before fault injection"
+    }
+  | Some _ ->
+    let fault_start = Engine.now p.engine in
+    Injector.arm p.injector
+      (Plan.of_steps
+         [ { Plan.at = 0.0; fault = Plan.Session_reset { link = "link" } } ]);
+    (* Watch retention while the session is down. *)
+    let retained = ref true in
+    let min_table = ref (2 * p.n_prefixes) in
+    let settled =
+      wait_until p.engine
+        (fun () ->
+          let sz = min (Router.table_size p.r1) (Router.table_size p.r2) in
+          if sz < !min_table then min_table := sz;
+          if sz < 2 * p.n_prefixes then retained := false;
+          Engine.now p.engine > fault_start +. 0.5 && converged p)
+        ~timeout:120.0
+    in
+    let recovery_s =
+      match settled with Some at -> at -. fault_start | None -> Float.nan
+    in
+    if settled <> None then
+      Metrics.Histogram.observe (recovery_hist "session_reset") recovery_s;
+    { scenario = "reset";
+      fault_class = "session_reset";
+      reconverged = settled <> None;
+      recovery_s;
+      routes_lost = routes_lost p;
+      detail =
+        (if !retained then "routes retained throughout outage (RFC 4724)"
+         else
+           Printf.sprintf "retention failed: table dipped to %d" !min_table)
+    }
+
+let partition_scenario ~seed =
+  let p = make_pair ~seed ~hold_time:9 ~graceful_restart:120 () in
+  match wait_until p.engine (fun () -> converged p) ~timeout:60.0 with
+  | None ->
+    { scenario = "partition";
+      fault_class = "partition";
+      reconverged = false;
+      recovery_s = Float.nan;
+      routes_lost = routes_lost p;
+      detail = "never converged before fault injection"
+    }
+  | Some _ ->
+    let fault_start = Engine.now p.engine in
+    let duration = 25.0 in
+    Injector.arm p.injector
+      (Plan.of_steps
+         [ { Plan.at = 0.0; fault = Plan.Partition { link = "link"; duration } }
+         ]);
+    let retained = ref true in
+    let settled =
+      wait_until p.engine
+        (fun () ->
+          if min (Router.table_size p.r1) (Router.table_size p.r2)
+             < 2 * p.n_prefixes
+          then retained := false;
+          Engine.now p.engine >= fault_start +. duration && converged p)
+        ~timeout:(duration +. 600.0)
+    in
+    let recovery_s =
+      match settled with Some at -> at -. fault_start | None -> Float.nan
+    in
+    if settled <> None then
+      Metrics.Histogram.observe (recovery_hist "partition") recovery_s;
+    { scenario = "partition";
+      fault_class = "partition";
+      reconverged = settled <> None;
+      recovery_s;
+      routes_lost = routes_lost p;
+      detail =
+        (if !retained then
+           "hold timer expired but routes retained across partition"
+         else "routes withdrawn during partition")
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Flap: seeded announce/withdraw oscillation against the safety
+   layer's RFC 2439 dampening, suppression then release. *)
+
+let flap_scenario ~seed =
+  let engine = Engine.create ~seed () in
+  let rng = Rng.split (Engine.rng engine) in
+  let pfx = Prefix.of_string_exn "184.164.224.0/24" in
+  let safety =
+    Safety.create ~peering_asn:(Asn.of_int 47065)
+      ~owns:(Prefix.subsumes (Prefix.of_string_exn "184.164.224.0/19"))
+      ()
+  in
+  let exp =
+    Experiment.make ~id:"chaos-flap" ~owner:"chaos"
+      ~description:"seeded flap plan driving dampening suppression" ()
+  in
+  exp.Experiment.prefixes <- [ pfx ];
+  exp.Experiment.status <- Experiment.Active;
+  let announce () =
+    Safety.check_announce safety ~now:(Engine.now engine) ~client:"chaos-flap"
+      ~experiment:exp ~prefix:pfx ~path_suffix:[]
+  in
+  let withdraw () =
+    Safety.note_withdraw safety ~now:(Engine.now engine) ~client:"chaos-flap"
+      ~prefix:pfx
+  in
+  let suppressions0 = Metrics.counter_value "bgp.dampening.suppressions" in
+  let reuses0 = Metrics.counter_value "bgp.dampening.reuses" in
+  (match announce () with
+  | Ok () -> ()
+  | Error _ -> ());
+  (* Flap until suppressed (the default params need 3 flaps), with
+     seeded jittered gaps between flaps. *)
+  let fault_start = Engine.now engine in
+  let flaps = ref 0 in
+  let rec flap_until_suppressed () =
+    if !flaps >= 10 then None
+    else begin
+      withdraw ();
+      incr flaps;
+      Engine.run_for engine (0.5 +. Rng.float rng 1.0);
+      match announce () with
+      | Error (Safety.Dampened until) -> Some until
+      | Ok () | Error _ -> flap_until_suppressed ()
+    end
+  in
+  match flap_until_suppressed () with
+  | None ->
+    { scenario = "flap";
+      fault_class = "flap";
+      reconverged = false;
+      recovery_s = Float.nan;
+      routes_lost = 1;
+      detail = "dampening never suppressed the flapping prefix"
+    }
+  | Some until ->
+    (* Advance past the predicted reuse time; the announcement must
+       then be accepted again. *)
+    Engine.run_for engine (until -. Engine.now engine +. 1.0);
+    let released = match announce () with Ok () -> true | Error _ -> false in
+    let recovery_s = Engine.now engine -. fault_start in
+    if released then
+      Metrics.Histogram.observe (recovery_hist "flap") recovery_s;
+    let suppressions =
+      Metrics.counter_value "bgp.dampening.suppressions" - suppressions0
+    in
+    let reuses = Metrics.counter_value "bgp.dampening.reuses" - reuses0 in
+    { scenario = "flap";
+      fault_class = "flap";
+      reconverged = released;
+      recovery_s;
+      routes_lost = (if released then 0 else 1);
+      detail =
+        Printf.sprintf
+          "%d flaps to suppression; %d suppression(s), %d release(s)" !flaps
+          suppressions reuses
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Mux crash: client announcements survive in the controller, the
+   restart re-exports them (failover) and the testbed refeeds learned
+   routes. *)
+
+let mux_crash_scenario ~seed =
+  let engine = Engine.create ~seed () in
+  let safety =
+    Safety.create ~peering_asn:(Asn.of_int 47065)
+      ~owns:(Prefix.subsumes (Prefix.of_string_exn "184.164.224.0/19"))
+      ()
+  in
+  let exports = ref [] in
+  let server =
+    Server.create engine ~name:"chaos-mux" ~asn:(Asn.of_int 47065) ~safety
+      ~export:(fun e -> exports := e :: !exports)
+      ()
+  in
+  Server.add_peer server ~kind:Server.Transit (Asn.of_int 3356);
+  Server.add_peer server ~kind:Server.Transit (Asn.of_int 174);
+  let exp =
+    Experiment.make ~id:"chaos-mux-client" ~owner:"chaos"
+      ~description:"mux crash and failover resynchronization drill" ()
+  in
+  let p1 = Prefix.of_string_exn "184.164.224.0/24" in
+  let p2 = Prefix.of_string_exn "184.164.225.0/24" in
+  exp.Experiment.prefixes <- [ p1; p2 ];
+  exp.Experiment.status <- Experiment.Active;
+  Server.connect_client server ~experiment:exp "chaos-mux-client";
+  let feed () =
+    Server.learn_route server ~peer:(Asn.of_int 3356)
+      ~path:[ Asn.of_int 3356; Asn.of_int 15169 ]
+      (Prefix.of_string_exn "8.8.8.0/24")
+  in
+  feed ();
+  let ok r = match r with Ok () -> true | Error _ -> false in
+  let announced =
+    ok (Server.announce server ~client:"chaos-mux-client" p1)
+    && ok (Server.announce server ~client:"chaos-mux-client" p2)
+  in
+  let exports_before = List.length !exports in
+  let injector = Injector.create engine in
+  Injector.add_mux injector ~name:"mux" server;
+  let downtime = 5.0 in
+  Injector.arm injector
+    (Plan.of_steps
+       [ { Plan.at = 1.0; fault = Plan.Mux_crash { mux = "mux"; downtime } } ]);
+  let refused_during_crash = ref false in
+  Engine.schedule engine ~delay:2.0 (fun () ->
+      match Server.announce server ~client:"chaos-mux-client" p1 with
+      | Error Safety.Mux_down -> refused_during_crash := true
+      | Ok () | Error _ -> ());
+  (* The testbed's upstream feed retries once the mux is back. *)
+  Engine.schedule engine ~delay:(1.0 +. downtime +. 0.1) feed;
+  Engine.run ~until:20.0 engine;
+  let fresh_exports = List.length !exports - exports_before in
+  let resynced =
+    Server.is_up server
+    && fresh_exports >= 2 (* both prefixes re-exported on restart *)
+    && Server.learned_route_count server = 1
+    && List.length (Server.announced_prefixes server ~client:"chaos-mux-client")
+       = 2
+  in
+  let reconverged = announced && !refused_during_crash && resynced in
+  if reconverged then
+    Metrics.Histogram.observe (recovery_hist "mux_crash") downtime;
+  { scenario = "mux_crash";
+    fault_class = "mux_crash";
+    reconverged;
+    recovery_s = (if reconverged then downtime else Float.nan);
+    routes_lost =
+      2
+      - List.length (Server.announced_prefixes server ~client:"chaos-mux-client");
+    detail =
+      Printf.sprintf
+        "refused during crash: %b; %d exports re-issued on restart"
+        !refused_during_crash fresh_exports
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Tunnel blackhole: the FIB keeps steering packets into the tunnel
+   while they silently vanish; delivery resumes once it clears. *)
+
+let blackhole_scenario ~seed =
+  let engine = Engine.create ~seed () in
+  let fwd = Peering_dataplane.Forwarder.create engine in
+  let module F = Peering_dataplane.Forwarder in
+  let module Pkt = Peering_dataplane.Packet in
+  let client = "client" and mux = "mux" in
+  F.add_node fwd client;
+  F.add_node fwd mux;
+  let client_addr = Ipv4.of_octets 10 9 0 1 in
+  let mux_addr = Ipv4.of_octets 184 164 224 1 in
+  F.add_address fwd client client_addr;
+  F.add_address fwd mux mux_addr;
+  let tun = Peering_dataplane.Tunnel.establish fwd engine ~a:client ~b:mux () in
+  Peering_dataplane.Tunnel.route_via tun ~at:client
+    (Prefix.make mux_addr 32);
+  F.set_route fwd mux (Prefix.make mux_addr 32) Peering_dataplane.Fib.Local;
+  let delivered = ref 0 in
+  F.on_deliver fwd mux (fun _ -> incr delivered);
+  let injector = Injector.create engine in
+  Injector.add_tunnel injector ~name:"tunnel" tun;
+  let duration = 10.0 in
+  Injector.arm injector
+    (Plan.of_steps
+       [ { Plan.at = 5.0;
+           fault = Plan.Tunnel_blackhole { tunnel = "tunnel"; duration }
+         } ]);
+  (* One probe packet every half second for 30 s. *)
+  let sent = ref 0 in
+  for i = 0 to 59 do
+    Engine.schedule engine ~delay:(0.5 *. float_of_int i) (fun () ->
+        incr sent;
+        F.inject fwd ~at:client
+          (Pkt.make ~src:client_addr ~dst:mux_addr ()))
+  done;
+  Engine.run ~until:40.0 engine;
+  let lost = !sent - !delivered in
+  (* 10 s of 2 Hz probes vanish; everything outside the window lands. *)
+  let reconverged = !delivered > 0 && lost > 0 && lost <= 21 in
+  if reconverged then
+    Metrics.Histogram.observe (recovery_hist "tunnel_blackhole") duration;
+  { scenario = "blackhole";
+    fault_class = "tunnel_blackhole";
+    reconverged;
+    recovery_s = (if reconverged then duration else Float.nan);
+    routes_lost = 0;
+    detail =
+      Printf.sprintf "%d/%d probes blackholed, delivery resumed" lost !sent
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let scenarios =
+  [ "loss"; "duplicate"; "corrupt"; "reorder"; "reset"; "partition"; "flap";
+    "mux_crash"; "blackhole" ]
+
+let run_one ~seed = function
+  | "loss" -> loss_scenario ~seed
+  | "duplicate" -> duplicate_scenario ~seed
+  | "corrupt" -> corrupt_scenario ~seed
+  | "reorder" -> reorder_scenario ~seed
+  | "reset" -> reset_scenario ~seed
+  | "partition" -> partition_scenario ~seed
+  | "flap" -> flap_scenario ~seed
+  | "mux_crash" -> mux_crash_scenario ~seed
+  | "blackhole" -> blackhole_scenario ~seed
+  | s -> invalid_arg (Printf.sprintf "Chaos.run_one: unknown scenario %S" s)
+
+let run_all ?(seed = 42) () =
+  (* Each scenario gets its own engine with a seed derived from the
+     run seed, so scenarios are independent and the full suite replays
+     bit-for-bit. *)
+  List.mapi (fun i name -> run_one ~seed:(seed + (101 * i)) name) scenarios
+
+let outcome_json o =
+  Json.Obj
+    [ ("scenario", Json.String o.scenario);
+      ("fault_class", Json.String o.fault_class);
+      ("reconverged", Json.Bool o.reconverged);
+      ("recovery_s", Json.Float o.recovery_s);
+      ("routes_lost", Json.Int o.routes_lost);
+      ("detail", Json.String o.detail)
+    ]
+
+let to_json ~seed outcomes =
+  Json.Obj
+    [ ("schema", Json.String "peering-chaos/1");
+      ("seed", Json.Int seed);
+      ("scenarios", Json.List (List.map outcome_json outcomes));
+      ("metrics", Peering_measure.Obs_report.to_json ())
+    ]

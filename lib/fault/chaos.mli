@@ -1,0 +1,41 @@
+(** Chaos scenarios: one curated fault drill per fault class.
+
+    Each scenario builds a small self-contained world on a fresh
+    engine (seeded deterministically from the run seed), injects a
+    fault plan through {!Injector}, and measures time-to-reconverge
+    and routes lost. Recovery latencies land in the
+    [fault.recovery_s] histogram, labelled by fault class; the whole
+    suite is byte-reproducible for a given seed. *)
+
+type outcome = {
+  scenario : string;  (** scenario name, one of {!scenarios} *)
+  fault_class : string;  (** {!Plan.fault_class}-style tag *)
+  reconverged : bool;
+      (** the world returned to its pre-fault state (no stuck sessions,
+          no leaked or missing routes) *)
+  recovery_s : float;
+      (** virtual seconds from fault injection to reconvergence;
+          [nan] when the scenario never reconverged *)
+  routes_lost : int;  (** routes missing at the end of the scenario *)
+  detail : string;  (** scenario-specific human-readable summary *)
+}
+
+val scenarios : string list
+(** Names accepted by {!run_one}, in execution order: loss, duplicate,
+    corrupt, reorder, reset, partition, flap, mux_crash, blackhole. *)
+
+val run_one : seed:int -> string -> outcome
+(** Run one scenario on a fresh engine seeded with [seed]. Raises
+    [Invalid_argument] on an unknown name. *)
+
+val run_all : ?seed:int -> unit -> outcome list
+(** Run every scenario, each on its own engine with a seed derived
+    from [seed] (default 42). Identical seeds produce identical
+    outcome lists. *)
+
+val outcome_json : outcome -> Peering_obs.Json.t
+(** One outcome as a JSON object row. *)
+
+val to_json : seed:int -> outcome list -> Peering_obs.Json.t
+(** The full chaos report (schema ["peering-chaos/1"]): seed, scenario
+    rows, and the deterministic metrics snapshot. *)

@@ -1,0 +1,73 @@
+type link_profile = {
+  loss : float;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  reorder_max_delay : float;
+}
+
+let pristine =
+  { loss = 0.0;
+    duplicate = 0.0;
+    corrupt = 0.0;
+    reorder = 0.0;
+    reorder_max_delay = 0.0
+  }
+
+let lossy ?(loss = 0.0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(reorder = 0.0)
+    ?(reorder_max_delay = 0.2) () =
+  let check name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Plan.lossy: %s=%g outside [0,1]" name p)
+  in
+  check "loss" loss;
+  check "duplicate" duplicate;
+  check "corrupt" corrupt;
+  check "reorder" reorder;
+  if reorder_max_delay < 0.0 then
+    invalid_arg "Plan.lossy: negative reorder_max_delay";
+  { loss; duplicate; corrupt; reorder; reorder_max_delay }
+
+type fault =
+  | Impair of { link : string; profile : link_profile; duration : float }
+  | Partition of { link : string; duration : float }
+  | Session_reset of { link : string }
+  | Mux_crash of { mux : string; downtime : float }
+  | Tunnel_blackhole of { tunnel : string; duration : float }
+
+type step = { at : float; fault : fault }
+
+type t = step list
+
+let of_steps steps =
+  List.iter
+    (fun s -> if s.at < 0.0 then invalid_arg "Plan.of_steps: negative time")
+    steps;
+  List.stable_sort (fun a b -> Float.compare a.at b.at) steps
+
+let fault_class = function
+  | Impair _ -> "impair"
+  | Partition _ -> "partition"
+  | Session_reset _ -> "session_reset"
+  | Mux_crash _ -> "mux_crash"
+  | Tunnel_blackhole _ -> "tunnel_blackhole"
+
+let target = function
+  | Impair { link; _ } | Partition { link; _ } | Session_reset { link } -> link
+  | Mux_crash { mux; _ } -> mux
+  | Tunnel_blackhole { tunnel; _ } -> tunnel
+
+let describe = function
+  | Impair { link; profile = p; duration } ->
+    Printf.sprintf
+      "impair %s for %.1fs (loss %.0f%%, dup %.0f%%, corrupt %.0f%%, reorder \
+       %.0f%%)"
+      link duration (100.0 *. p.loss) (100.0 *. p.duplicate)
+      (100.0 *. p.corrupt) (100.0 *. p.reorder)
+  | Partition { link; duration } ->
+    Printf.sprintf "partition %s for %.1fs" link duration
+  | Session_reset { link } -> Printf.sprintf "reset session on %s" link
+  | Mux_crash { mux; downtime } ->
+    Printf.sprintf "crash mux %s for %.1fs" mux downtime
+  | Tunnel_blackhole { tunnel; duration } ->
+    Printf.sprintf "blackhole tunnel %s for %.1fs" tunnel duration

@@ -1,0 +1,64 @@
+(** Declarative fault plans.
+
+    A plan is a timeline of faults against named targets (links, muxes,
+    tunnels) registered with an {!Injector}. Plans carry no randomness
+    of their own: probabilistic impairments are resolved per message by
+    the injector, drawing from the simulation engine's RNG, so
+    identical seeds replay identical failure timelines. *)
+
+type link_profile = {
+  loss : float;  (** per-message drop probability, [0,1] *)
+  duplicate : float;  (** per-message duplication probability *)
+  corrupt : float;  (** per-message corruption probability *)
+  reorder : float;  (** per-message extra-delay (reordering) probability *)
+  reorder_max_delay : float;  (** max extra seconds for a reordered message *)
+}
+
+val pristine : link_profile
+(** All rates zero. *)
+
+val lossy :
+  ?loss:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?reorder:float ->
+  ?reorder_max_delay:float ->
+  unit ->
+  link_profile
+(** Build a profile (defaults: all rates 0, [reorder_max_delay] 0.2 s).
+    Raises [Invalid_argument] on rates outside [0,1]. *)
+
+(** One fault against one named target. *)
+type fault =
+  | Impair of { link : string; profile : link_profile; duration : float }
+      (** probabilistic message loss/duplication/corruption/reordering
+          on a link for [duration] seconds *)
+  | Partition of { link : string; duration : float }
+      (** total message loss on a link for [duration] seconds *)
+  | Session_reset of { link : string }
+      (** instantaneous transport reset: both FSMs drop without
+          NOTIFICATIONs *)
+  | Mux_crash of { mux : string; downtime : float }
+      (** the mux's BGP process dies and restarts after [downtime] *)
+  | Tunnel_blackhole of { tunnel : string; duration : float }
+      (** packets entering the tunnel silently vanish for [duration] *)
+
+type step = { at : float; fault : fault }
+(** A fault scheduled at virtual time [at] (relative to arming). *)
+
+type t = step list
+(** A timeline, sorted by time. Build with {!of_steps}. *)
+
+val of_steps : step list -> t
+(** Sort steps by time. Raises [Invalid_argument] on negative times. *)
+
+val fault_class : fault -> string
+(** Stable class tag: ["impair"], ["partition"], ["session_reset"],
+    ["mux_crash"] or ["tunnel_blackhole"] — the key used for
+    per-class recovery metrics. *)
+
+val target : fault -> string
+(** The registered name the fault acts on. *)
+
+val describe : fault -> string
+(** Human-readable one-liner for traces and logs. *)

@@ -19,6 +19,11 @@ let m_filtered =
   Metrics.counter ~help:"deliveries blocked by BGP-community export policy"
     "ixp.route_server.filtered"
 
+let m_fanout =
+  Metrics.histogram
+    ~help:"members reached per announcement after export filtering"
+    "ixp.route_server.fanout"
+
 module Imap = Map.Make (Int)
 
 type t = {
@@ -98,6 +103,7 @@ let announce t ~from (route : Route.t) =
   let deliveries = List.rev !deliveries in
   Metrics.Counter.add m_delivered (List.length deliveries);
   Metrics.Counter.add m_filtered !filtered;
+  Metrics.Histogram.observe m_fanout (float_of_int (List.length deliveries));
   if Sink.active () then
     Sink.emit ~subsystem:"ixp.route_server"
       (Peering_obs.Event.Route_server_pass

@@ -27,6 +27,8 @@ type t =
       suppressed : bool;
     }
   | Tunnel_forward of { tunnel : string; bytes : int }
+  | Fault_injected of { target : string; fault : string }
+  | Recovered of { target : string; after_s : float }
   | Ad_hoc of string
 
 let label = function
@@ -38,6 +40,8 @@ let label = function
   | Route_server_pass _ -> "route_server_pass"
   | Dampening_penalty _ -> "dampening_penalty"
   | Tunnel_forward _ -> "tunnel_forward"
+  | Fault_injected _ -> "fault_injected"
+  | Recovered _ -> "recovered"
   | Ad_hoc _ -> "ad_hoc"
 
 let to_string = function
@@ -69,6 +73,10 @@ let to_string = function
       (if suppressed then " (suppressed)" else "")
   | Tunnel_forward { tunnel; bytes } ->
     Printf.sprintf "tunnel %s forwarded %d bytes" tunnel bytes
+  | Fault_injected { target; fault } ->
+    Printf.sprintf "fault on %s: %s" target fault
+  | Recovered { target; after_s } ->
+    Printf.sprintf "%s recovered after %.3fs" target after_s
   | Ad_hoc s -> s
 
 let level_to_string = function

@@ -44,6 +44,12 @@ type t =
     }  (** RFC 2439 accounting after a flap. *)
   | Tunnel_forward of { tunnel : string; bytes : int }
       (** A packet crossed an OpenVPN-style tunnel. *)
+  | Fault_injected of { target : string; fault : string }
+      (** {!Peering_fault} injected a fault (rendered fault class) on a
+          named target — a link, mux or tunnel. *)
+  | Recovered of { target : string; after_s : float }
+      (** A faulted target returned to its converged state, [after_s]
+          virtual seconds after the fault cleared. *)
   | Ad_hoc of string  (** free-form fallback; the old string events *)
 
 val to_string : t -> string

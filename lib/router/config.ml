@@ -6,6 +6,10 @@ type neighbor_config = {
   remote_as : Asn.t;
   route_map_in : string option;
   route_map_out : string option;
+  keepalive : int option;
+  holdtime : int option;
+  connect_retry_s : int option;
+  timers_line : int option;
   nbr_line : int;
 }
 
@@ -126,9 +130,26 @@ let handle_bgp_line b lineno toks =
         remote_as = parse_asn lineno asn;
         route_map_in = None;
         route_map_out = None;
+        keepalive = None;
+        holdtime = None;
+        connect_retry_s = None;
+        timers_line = None;
         nbr_line = lineno
       }
       :: b.b_neighbors
+  | [ "neighbor"; ip; "timers"; "connect"; n ] ->
+    let addr = parse_ip lineno ip in
+    let v = parse_int lineno n in
+    if v < 0 then fail lineno "connect-retry must be non-negative";
+    update_neighbor b lineno addr (fun nb ->
+        { nb with connect_retry_s = Some v; timers_line = Some lineno })
+  | [ "neighbor"; ip; "timers"; k; h ] ->
+    let addr = parse_ip lineno ip in
+    let k = parse_int lineno k and h = parse_int lineno h in
+    if k < 0 || h < 0 then fail lineno "timers must be non-negative";
+    update_neighbor b lineno addr (fun nb ->
+        { nb with keepalive = Some k; holdtime = Some h;
+          timers_line = Some lineno })
   | [ "neighbor"; ip; "route-map"; name; dir ] ->
     let addr = parse_ip lineno ip in
     (match dir with

@@ -11,6 +11,8 @@ router bgp <asn>
  network <prefix>
  neighbor <ip> remote-as <asn>
  neighbor <ip> route-map <name> in|out
+ neighbor <ip> timers <keepalive> <holdtime>
+ neighbor <ip> timers connect <seconds>
 ip prefix-list <name> seq <n> permit|deny <prefix> [ge <n>] [le <n>]
 route-map <name> permit|deny <seq>
  match ip address prefix-list <name>
@@ -34,6 +36,11 @@ type neighbor_config = {
   remote_as : Asn.t;
   route_map_in : string option;
   route_map_out : string option;
+  keepalive : int option;  (** [timers <k> <h>]: keepalive interval, s *)
+  holdtime : int option;  (** [timers <k> <h>]: hold time, s *)
+  connect_retry_s : int option;  (** [timers connect <n>]: retry base, s *)
+  timers_line : int option;
+      (** line of the last [timers] statement, for diagnostics *)
   nbr_line : int;  (** line of the [remote-as] declaration *)
 }
 

@@ -14,6 +14,10 @@ type neighbor = {
   mutable adj_out : Route.t Prefix.Map.t;
   mutable mrai_until : float;  (** no advertisements before this time *)
   mutable pending : Rib.change Prefix.Map.t;  (** held by the MRAI timer *)
+  mutable gr_time : int option;
+      (** peer's negotiated RFC 4724 restart time, captured on establish *)
+  mutable stale_generation : int;
+      (** invalidates scheduled stale sweeps across up/down transitions *)
 }
 
 type t = {
@@ -22,6 +26,7 @@ type t = {
   router_id : Ipv4.t;
   hold_time : int;
   mrai : float;
+  graceful_restart : int option;
   rib : Rib.t;
   mutable nbrs : neighbor list;
   mutable networks : (Prefix.t * Attrs.t) list;
@@ -31,12 +36,20 @@ type t = {
 
 let local_peer_key = "<local>"
 
-let create engine ~asn ~router_id ?(hold_time = 90) ?(mrai = 0.0) () =
+(* After a helper's session re-establishes, the restarting peer resends
+   its table; routes it no longer has must then be swept. With MRAI
+   disabled the resync completes within a few wire latencies, so a
+   one-second deferral is a comfortable End-of-RIB surrogate. *)
+let resync_deferral = 1.0
+
+let create engine ~asn ~router_id ?(hold_time = 90) ?(mrai = 0.0)
+    ?graceful_restart () =
   { engine;
     asn;
     router_id;
     hold_time;
     mrai;
+    graceful_restart;
     rib = Rib.create ();
     nbrs = [];
     networks = [];
@@ -224,16 +237,39 @@ let on_update t (nbr : neighbor) (u : Message.update) =
   | None -> ());
   propagate t (List.rev !changes)
 
-let on_established t (nbr : neighbor) (_ : Wire.session_opts) =
+let sweep_peer t (nbr : neighbor) generation () =
+  if generation = nbr.stale_generation then begin
+    let changes = Rib.sweep_stale t.rib ~peer:(peer_key nbr) in
+    propagate t changes
+  end
+
+let on_established t (nbr : neighbor) peer_gr_time (_ : Wire.session_opts) =
   nbr.up <- true;
+  nbr.stale_generation <- nbr.stale_generation + 1;
+  nbr.gr_time <- peer_gr_time ();
+  (* If we were helping across a restart, re-announcements now refresh
+     the stale marks; whatever is still stale after the deferral was
+     lost in the restart and must go. *)
+  if Rib.stale_count t.rib ~peer:(peer_key nbr) > 0 then
+    Engine.schedule t.engine ~delay:resync_deferral
+      (sweep_peer t nbr nbr.stale_generation);
   full_table_to t nbr
 
 let on_close t (nbr : neighbor) (_reason : string) =
   nbr.up <- false;
   nbr.adj_out <- Prefix.Map.empty;
   nbr.pending <- Prefix.Map.empty;
-  let changes = Rib.drop_peer t.rib ~peer:(peer_key nbr) in
-  propagate t changes
+  nbr.stale_generation <- nbr.stale_generation + 1;
+  match nbr.gr_time with
+  | Some rt when rt > 0 ->
+    (* RFC 4724 helper: keep the peer's routes installed and forwarding
+       for its advertised restart time; only withdraw if it stays down. *)
+    ignore (Rib.mark_stale t.rib ~peer:(peer_key nbr) : int);
+    Engine.schedule t.engine ~delay:(float_of_int rt)
+      (sweep_peer t nbr nbr.stale_generation)
+  | Some _ | None ->
+    let changes = Rib.drop_peer t.rib ~peer:(peer_key nbr) in
+    propagate t changes
 
 (* ------------------------------------------------------------------ *)
 (* Origination *)
@@ -273,13 +309,16 @@ let add_neighbor t ~remote_asn ~remote_addr ~local_addr =
       up = false;
       adj_out = Prefix.Map.empty;
       mrai_until = 0.0;
-      pending = Prefix.Map.empty
+      pending = Prefix.Map.empty;
+      gr_time = None;
+      stale_generation = 0
     }
   in
   t.nbrs <- t.nbrs @ [ nbr ];
   nbr
 
-let connect engine ?(latency = 0.01) (r1, addr1) (r2, addr2) =
+let connect engine ?(latency = 0.01) ?(auto_restart = false) (r1, addr1)
+    (r2, addr2) =
   let n1 =
     add_neighbor r1 ~remote_asn:r2.asn ~remote_addr:addr2 ~local_addr:addr1
   in
@@ -287,9 +326,22 @@ let connect engine ?(latency = 0.01) (r1, addr1) (r2, addr2) =
     add_neighbor r2 ~remote_asn:r1.asn ~remote_addr:addr1 ~local_addr:addr2
   in
   let cfg r =
-    { (Fsm.default_config ~local_asn:r.asn ~router_id:r.router_id) with
-      Fsm.hold_time = r.hold_time
-    }
+    let base = Fsm.default_config ~local_asn:r.asn ~router_id:r.router_id in
+    let capabilities =
+      match r.graceful_restart with
+      | Some rt -> base.Fsm.capabilities @ [ Capability.Graceful_restart rt ]
+      | None -> base.Fsm.capabilities
+    in
+    { base with Fsm.hold_time = r.hold_time; auto_restart; capabilities }
+  in
+  (* The peer's negotiated restart time lives in the FSM, which does not
+     exist until the session is built; callbacks only fire once the
+     engine runs, so reading through this ref is safe. *)
+  let session_ref = ref None in
+  let gr_of side () =
+    match !session_ref with
+    | None -> None
+    | Some s -> Fsm.graceful_restart_time (side s).Session.fsm
   in
   let session =
     Session.create engine ~latency
@@ -297,12 +349,15 @@ let connect engine ?(latency = 0.01) (r1, addr1) (r2, addr2) =
       ~b:(cfg r2, addr2)
       ~on_update_a:(fun u -> on_update r1 n1 u)
       ~on_update_b:(fun u -> on_update r2 n2 u)
-      ~on_established_a:(fun opts -> on_established r1 n1 opts)
-      ~on_established_b:(fun opts -> on_established r2 n2 opts)
+      ~on_established_a:(fun opts ->
+        on_established r1 n1 (gr_of Session.a) opts)
+      ~on_established_b:(fun opts ->
+        on_established r2 n2 (gr_of Session.b) opts)
       ~on_close_a:(fun reason -> on_close r1 n1 reason)
       ~on_close_b:(fun reason -> on_close r2 n2 reason)
       ()
   in
+  session_ref := Some session;
   n1.send <- (fun m -> Session.send_from_a session m);
   n2.send <- (fun m -> Session.send_from_b session m);
   Session.start session;

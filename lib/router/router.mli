@@ -19,13 +19,21 @@ val create :
   router_id:Ipv4.t ->
   ?hold_time:int ->
   ?mrai:float ->
+  ?graceful_restart:int ->
   unit ->
   t
 (** [mrai] (seconds, default 0 = disabled) enforces a minimum
     route-advertisement interval per neighbor: best-route changes
     inside the window are held and flushed together when it expires —
     the batching behind BGP's delayed-convergence dynamics (RFC 4271
-    §9.2.1.1). *)
+    §9.2.1.1).
+
+    [graceful_restart] (seconds) advertises the RFC 4724 capability on
+    every session this router initiates. When both sides advertise it,
+    each acts as a helper for the other: on session loss the peer's
+    routes are retained (marked stale) for the peer's advertised
+    restart time, and withdrawn only if the session does not come back
+    and resynchronize in time. *)
 
 val asn : t -> Asn.t
 val router_id : t -> Ipv4.t
@@ -56,6 +64,7 @@ val set_export_policy : t -> Ipv4.t -> Policy.t -> unit
 val connect :
   Peering_sim.Engine.t ->
   ?latency:float ->
+  ?auto_restart:bool ->
   t * Ipv4.t ->
   t * Ipv4.t ->
   Session.t
@@ -63,7 +72,9 @@ val connect :
     the other's neighbor (eBGP if ASNs differ, iBGP otherwise), builds
     the session, and starts it. Run the engine to establish; on
     establishment each side sends its full table subject to export
-    policy. *)
+    policy. [auto_restart] (default false) makes both FSMs reconnect
+    after non-administrative closes with jittered exponential
+    backoff. *)
 
 val best_route : t -> Prefix.t -> Route.t option
 val lookup : t -> Ipv4.t -> Route.t option

@@ -199,6 +199,18 @@ let test_nbr_nopolicy () =
     "router bgp 1\n neighbor 10.0.0.1 remote-as 2";
   assert_quiet "clean" "NBR-NOPOLICY" clean_config
 
+let test_timer_degen () =
+  assert_fires "hold below keepalive" "TIMER-DEGEN"
+    "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 timers 30 10";
+  assert_fires "zero connect-retry" "TIMER-DEGEN"
+    "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 timers connect 0";
+  (* hold time 0 disables the hold timer (RFC 4271) and is legitimate *)
+  assert_quiet "hold disabled" "TIMER-DEGEN"
+    "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 timers 30 0";
+  assert_quiet "sane timers" "TIMER-DEGEN"
+    "router bgp 1\n neighbor 10.0.0.1 remote-as 2\n neighbor 10.0.0.1 timers 30 90\n neighbor 10.0.0.1 timers connect 5";
+  assert_quiet "clean" "TIMER-DEGEN" clean_config
+
 let mutual_a =
   {|router bgp 64600
  bgp router-id 100.65.0.2
@@ -479,6 +491,7 @@ let () =
           tc "PFXLIST-BOUNDS" `Quick test_pfxlist_bounds;
           tc "NET-DUP" `Quick test_net_dup;
           tc "NBR-NOPOLICY" `Quick test_nbr_nopolicy;
+          tc "TIMER-DEGEN" `Quick test_timer_degen;
           tc "SESSION-MISMATCH" `Quick test_session_mismatch
         ] );
       ( "policy",

@@ -1,0 +1,346 @@
+(* Fault injection, graceful degradation and the chaos harness:
+   deterministic plans, RFC 4724 retention, reconnect backoff, the
+   dampening x flap interaction, and the streaming JSON writer. *)
+
+open Peering_net
+module Engine = Peering_sim.Engine
+module Metrics = Peering_obs.Metrics
+module Json = Peering_obs.Json
+module Plan = Peering_fault.Plan
+module Injector = Peering_fault.Injector
+module Chaos = Peering_fault.Chaos
+module Router = Peering_router.Router
+module Session = Peering_bgp.Session
+module Fsm = Peering_bgp.Fsm
+
+let tc = Alcotest.test_case
+
+let wait_until engine pred ~timeout =
+  let deadline = Engine.now engine +. timeout in
+  let rec go () =
+    if pred () then true
+    else if Engine.now engine >= deadline then false
+    else begin
+      Engine.run_for engine 0.25;
+      go ()
+    end
+  in
+  go ()
+
+let raises_invalid f =
+  match f () with
+  | exception Invalid_argument _ -> true
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+let test_plan_sorts () =
+  let plan =
+    Plan.of_steps
+      [ { Plan.at = 5.0; fault = Plan.Session_reset { link = "l" } };
+        { Plan.at = 1.0; fault = Plan.Partition { link = "l"; duration = 2.0 } }
+      ]
+  in
+  Alcotest.(check (list (float 0.0)))
+    "steps sorted by time" [ 1.0; 5.0 ]
+    (List.map (fun s -> s.Plan.at) plan)
+
+let test_plan_validation () =
+  Alcotest.(check bool) "negative time rejected" true
+    (raises_invalid (fun () ->
+         Plan.of_steps
+           [ { Plan.at = -1.0; fault = Plan.Session_reset { link = "l" } } ]));
+  Alcotest.(check bool) "loss rate above 1 rejected" true
+    (raises_invalid (fun () -> Plan.lossy ~loss:1.5 ()));
+  Alcotest.(check bool) "negative duplicate rate rejected" true
+    (raises_invalid (fun () -> Plan.lossy ~duplicate:(-0.1) ()))
+
+let test_fault_classes () =
+  let classes =
+    List.map Plan.fault_class
+      [ Plan.Impair { link = "l"; profile = Plan.pristine; duration = 1.0 };
+        Plan.Partition { link = "l"; duration = 1.0 };
+        Plan.Session_reset { link = "l" };
+        Plan.Mux_crash { mux = "m"; downtime = 1.0 };
+        Plan.Tunnel_blackhole { tunnel = "t"; duration = 1.0 }
+      ]
+  in
+  Alcotest.(check (list string))
+    "class tags"
+    [ "impair"; "partition"; "session_reset"; "mux_crash"; "tunnel_blackhole" ]
+    classes
+
+let test_injector_unknown_target () =
+  let engine = Engine.create ~seed:1 () in
+  let inj = Injector.create engine in
+  Alcotest.(check bool) "unknown link rejected" true
+    (raises_invalid (fun () ->
+         Injector.apply inj (Plan.Session_reset { link = "nope" })))
+
+(* ------------------------------------------------------------------ *)
+(* A two-router world for the direct recovery tests. *)
+
+let addr1 = Ipv4.of_octets 192 168 9 1
+let addr2 = Ipv4.of_octets 192 168 9 2
+
+let make_pair ~seed ?graceful_restart ~n_prefixes () =
+  let engine = Engine.create ~seed () in
+  let mk asn router_id =
+    Router.create engine ~asn:(Asn.of_int asn) ~router_id ~hold_time:90
+      ?graceful_restart ()
+  in
+  let r1 = mk 65001 addr1 and r2 = mk 65002 addr2 in
+  for i = 0 to n_prefixes - 1 do
+    Router.originate r1 (Prefix.make (Ipv4.of_octets 10 0 i 0) 24);
+    Router.originate r2 (Prefix.make (Ipv4.of_octets 10 1 i 0) 24)
+  done;
+  let session =
+    Router.connect engine ~auto_restart:true (r1, addr1) (r2, addr2)
+  in
+  (engine, r1, r2, session)
+
+let converged r1 r2 session ~full =
+  Session.established session
+  && Router.table_size r1 = full
+  && Router.table_size r2 = full
+
+let test_graceful_restart_retention () =
+  let n = 4 in
+  let full = 2 * n in
+  let engine, r1, r2, session =
+    make_pair ~seed:3 ~graceful_restart:60 ~n_prefixes:n ()
+  in
+  Alcotest.(check bool) "initial convergence" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:60.0);
+  let marked0 = Metrics.counter_value "bgp.rib.stale_marked" in
+  let swept0 = Metrics.counter_value "bgp.rib.stale_swept" in
+  Session.reset session ~reason:"test transport loss";
+  Engine.run_for engine 0.01;
+  (* RFC 4724 helper behaviour: the peer's routes are marked stale and
+     retained, not dropped, while the session is down. *)
+  Alcotest.(check bool) "routes marked stale" true
+    (Metrics.counter_value "bgp.rib.stale_marked" > marked0);
+  Alcotest.(check int) "r1 retains the full table" full (Router.table_size r1);
+  Alcotest.(check int) "r2 retains the full table" full (Router.table_size r2);
+  Alcotest.(check bool) "session re-establishes" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:300.0);
+  (* Past the post-resync deferral the stale marks are swept; nothing
+     was re-announced differently, so the table is unchanged. *)
+  Engine.run_for engine 65.0;
+  Alcotest.(check bool) "stale marks swept" true
+    (Metrics.counter_value "bgp.rib.stale_swept" >= swept0);
+  Alcotest.(check int) "no leaked routes" full (Router.table_size r1)
+
+let test_no_gr_drops_routes () =
+  let n = 4 in
+  let full = 2 * n in
+  let engine, r1, r2, session = make_pair ~seed:4 ~n_prefixes:n () in
+  Alcotest.(check bool) "initial convergence" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:60.0);
+  Session.reset session ~reason:"test transport loss";
+  Engine.run_for engine 0.01;
+  (* Without the capability the peer's routes go away immediately. *)
+  Alcotest.(check int) "r1 drops the peer's routes" n (Router.table_size r1);
+  Alcotest.(check bool) "still re-establishes" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:300.0)
+
+let test_backoff_reconnects () =
+  let n = 2 in
+  let full = 2 * n in
+  let engine, r1, r2, session = make_pair ~seed:5 ~n_prefixes:n () in
+  Alcotest.(check bool) "initial convergence" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:60.0);
+  for i = 1 to 3 do
+    Session.reset session ~reason:(Printf.sprintf "flap %d" i);
+    Alcotest.(check bool)
+      (Printf.sprintf "re-established after flap %d" i)
+      true
+      (wait_until engine
+         (fun () -> converged r1 r2 session ~full)
+         ~timeout:600.0)
+  done;
+  Alcotest.(check bool) "established at least 4 times" true
+    (Fsm.established_count (Session.a session).Session.fsm >= 4)
+
+let test_corrupt_frames_counted () =
+  let n = 2 in
+  let full = 2 * n in
+  let engine, r1, r2, session = make_pair ~seed:6 ~n_prefixes:n () in
+  Alcotest.(check bool) "initial convergence" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:60.0);
+  let errs0 = Metrics.counter_value "bgp.wire.decode_errors" in
+  Session.set_fault_hook session (Some (fun _ -> Some Session.Corrupt));
+  Engine.run_for engine 40.0;
+  Session.set_fault_hook session None;
+  (* Corrupting the marker makes Wire.decode fail deterministically;
+     every such frame lands in the decode-error counter. *)
+  Alcotest.(check bool) "decode errors counted" true
+    (Metrics.counter_value "bgp.wire.decode_errors" > errs0);
+  Alcotest.(check bool) "recovers once frames are clean" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:600.0)
+
+(* ------------------------------------------------------------------ *)
+(* The dampening x flap interaction (RFC 2439 under a seeded flap
+   plan), asserted through the bgp.dampening.* counters. *)
+
+let test_dampening_flap_interaction () =
+  let flaps0 = Metrics.counter_value "bgp.dampening.flaps" in
+  let supp0 = Metrics.counter_value "bgp.dampening.suppressions" in
+  let reuse0 = Metrics.counter_value "bgp.dampening.reuses" in
+  let o = Chaos.run_one ~seed:13 "flap" in
+  Alcotest.(check string) "classified as flap" "flap" o.Chaos.fault_class;
+  Alcotest.(check bool) "flap scenario reconverges" true o.Chaos.reconverged;
+  Alcotest.(check int) "no routes lost" 0 o.Chaos.routes_lost;
+  (* The default parameters need three flaps before the penalty crosses
+     the suppress threshold (two decay to just under 2000). *)
+  Alcotest.(check bool) "at least three flaps counted" true
+    (Metrics.counter_value "bgp.dampening.flaps" - flaps0 >= 3);
+  Alcotest.(check bool) "the route was suppressed" true
+    (Metrics.counter_value "bgp.dampening.suppressions" - supp0 >= 1);
+  Alcotest.(check bool) "and released for reuse" true
+    (Metrics.counter_value "bgp.dampening.reuses" - reuse0 >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos determinism and the acceptance criteria. *)
+
+let run_chaos seed =
+  Metrics.reset ();
+  let outcomes = Chaos.run_all ~seed () in
+  (outcomes, Json.to_string ~indent:2 (Chaos.to_json ~seed outcomes))
+
+let test_chaos_deterministic () =
+  let o1, j1 = run_chaos 11 in
+  let _, j2 = run_chaos 11 in
+  Alcotest.(check string) "same seed, byte-identical report" j1 j2;
+  Alcotest.(check (list string))
+    "every declared scenario ran" Chaos.scenarios
+    (List.map (fun o -> o.Chaos.scenario) o1);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (o.Chaos.scenario ^ " reconverged")
+        true o.Chaos.reconverged;
+      Alcotest.(check int) (o.Chaos.scenario ^ " routes lost") 0
+        o.Chaos.routes_lost;
+      Alcotest.(check bool)
+        (o.Chaos.scenario ^ " recovery latency is finite")
+        true
+        (Float.is_finite o.Chaos.recovery_s))
+    o1
+
+(* ------------------------------------------------------------------ *)
+(* The streaming JSON writer must be byte-identical to the tree
+   emitter, compact and pretty. *)
+
+let sample_tree =
+  Json.Obj
+    [ ("schema", Json.String "writer-test/1");
+      ( "rows",
+        Json.List
+          [ Json.Obj
+              [ ("label", Json.String "a \"quoted\" label");
+                ("n", Json.Int 3);
+                ("x", Json.Float 1.5)
+              ];
+            Json.Obj [ ("label", Json.String "second"); ("ok", Json.Bool true) ]
+          ] );
+      ("empty_obj", Json.Obj []);
+      ("empty_list", Json.List []);
+      ("nothing", Json.Null);
+      ( "nested",
+        Json.List [ Json.List [ Json.Int 1; Json.Int 2 ]; Json.List [] ] )
+    ]
+
+let stream_sample indent =
+  let b = Buffer.create 256 in
+  let w = Json.Writer.to_buffer ?indent b in
+  Json.Writer.begin_obj w;
+  Json.Writer.key w "schema";
+  Json.Writer.value w (Json.String "writer-test/1");
+  Json.Writer.key w "rows";
+  Json.Writer.begin_arr w;
+  Json.Writer.value w
+    (Json.Obj
+       [ ("label", Json.String "a \"quoted\" label");
+         ("n", Json.Int 3);
+         ("x", Json.Float 1.5)
+       ]);
+  (* The second row is itself streamed member by member. *)
+  Json.Writer.begin_obj w;
+  Json.Writer.key w "label";
+  Json.Writer.value w (Json.String "second");
+  Json.Writer.key w "ok";
+  Json.Writer.value w (Json.Bool true);
+  Json.Writer.end_obj w;
+  Json.Writer.end_arr w;
+  Json.Writer.key w "empty_obj";
+  Json.Writer.begin_obj w;
+  Json.Writer.end_obj w;
+  Json.Writer.key w "empty_list";
+  Json.Writer.begin_arr w;
+  Json.Writer.end_arr w;
+  Json.Writer.key w "nothing";
+  Json.Writer.value w Json.Null;
+  Json.Writer.key w "nested";
+  Json.Writer.begin_arr w;
+  Json.Writer.value w (Json.List [ Json.Int 1; Json.Int 2 ]);
+  Json.Writer.begin_arr w;
+  Json.Writer.end_arr w;
+  Json.Writer.end_arr w;
+  Json.Writer.end_obj w;
+  Json.Writer.close w;
+  Buffer.contents b
+
+let test_writer_compact () =
+  Alcotest.(check string) "compact bytes" (Json.to_string sample_tree)
+    (stream_sample None)
+
+let test_writer_indented () =
+  Alcotest.(check string) "pretty bytes"
+    (Json.to_string ~indent:2 sample_tree)
+    (stream_sample (Some 2))
+
+let test_writer_misuse () =
+  Alcotest.(check bool) "key outside an object" true
+    (raises_invalid (fun () ->
+         let w = Json.Writer.to_buffer (Buffer.create 16) in
+         Json.Writer.key w "k"));
+  Alcotest.(check bool) "value in an object without a key" true
+    (raises_invalid (fun () ->
+         let w = Json.Writer.to_buffer (Buffer.create 16) in
+         Json.Writer.begin_obj w;
+         Json.Writer.value w Json.Null));
+  Alcotest.(check bool) "close with open containers" true
+    (raises_invalid (fun () ->
+         let w = Json.Writer.to_buffer (Buffer.create 16) in
+         Json.Writer.begin_arr w;
+         Json.Writer.close w))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "fault"
+    [ ( "plan",
+        [ tc "sorts steps" `Quick test_plan_sorts;
+          tc "validates" `Quick test_plan_validation;
+          tc "fault classes" `Quick test_fault_classes;
+          tc "unknown target" `Quick test_injector_unknown_target
+        ] );
+      ( "recovery",
+        [ tc "graceful restart retention" `Quick test_graceful_restart_retention;
+          tc "no GR drops routes" `Quick test_no_gr_drops_routes;
+          tc "backoff reconnects" `Quick test_backoff_reconnects;
+          tc "corrupt frames counted" `Quick test_corrupt_frames_counted
+        ] );
+      ( "dampening",
+        [ tc "flap plan suppresses and releases" `Slow
+            test_dampening_flap_interaction
+        ] );
+      ("chaos", [ tc "deterministic full drill" `Slow test_chaos_deterministic ]);
+      ( "json writer",
+        [ tc "compact" `Quick test_writer_compact;
+          tc "indented" `Quick test_writer_indented;
+          tc "misuse" `Quick test_writer_misuse
+        ] )
+    ]
