@@ -1,6 +1,6 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index). Run with no arguments for all
-   experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1 a2 a3 a4.
+   experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1..a6 prop chaos.
    Pass --bechamel to additionally run microbenchmarks of the core
    primitives, and --json FILE to also write every paper-vs-measured
    row plus the metrics snapshot as a machine-readable artifact. *)
@@ -685,6 +685,66 @@ let chaos () =
       (Printf.sprintf "%d of %d" (List.length outcomes - stuck) (List.length outcomes))
 
 (* ------------------------------------------------------------------ *)
+(* PROP: parallel valley-free propagation speedup (ROADMAP item) *)
+
+let prop () =
+  section
+    "PROP  Parallel propagation on the ~45K-AS world (E2/E3's engine cost)";
+  let c = Lazy.force world_ctx in
+  let g = c.world.Gen.graph in
+  let origin = List.hd c.world.Gen.stubs in
+  let p = List.hd (As_graph.prefixes_of g origin) in
+  let anns = [ Propagation.announce origin p ] in
+  Printf.printf
+    "  one announcement propagated over %d ASes / %d edges; wall time is\n\
+    \  the best of 3 runs (host has %d recommended domains)\n"
+    (As_graph.n_ases g) (As_graph.n_edges g)
+    (Domain.recommended_domain_count ());
+  (* Wall clock, not [Sys.time]: CPU time sums over domains and would
+     hide any speedup. *)
+  let timed f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    match !result with
+    | Some r -> (r, !best)
+    | None -> assert false
+  in
+  let digest r =
+    Digest.to_hex (Digest.string (Marshal.to_string (Propagation.table r) []))
+  in
+  let seq_r, seq_t = timed (fun () -> Propagation.propagate_seq g anns) in
+  let seq_digest = digest seq_r in
+  paper_vs_measured ~label:"sequential reference wall time" ~paper:"n/a"
+    ~measured:(Printf.sprintf "%.1f ms" (1000.0 *. seq_t));
+  let all_identical = ref true in
+  List.iter
+    (fun d ->
+      let r, t = timed (fun () -> Propagation.propagate ~domains:d g anns) in
+      let identical = digest r = seq_digest in
+      if not identical then all_identical := false;
+      paper_vs_measured
+        ~label:(Printf.sprintf "propagation speedup at %d domains" d)
+        ~paper:">1.5x at 4 (multicore host)"
+        ~measured:
+          (Printf.sprintf "%.2fx (%.1f ms, table %s)" (seq_t /. t)
+             (1000.0 *. t)
+             (if identical then "identical" else "DIVERGED")))
+    [ 1; 2; 4; 8 ];
+  paper_vs_measured ~label:"route tables byte-identical across domain counts"
+    ~paper:"byte-identical"
+    ~measured:(if !all_identical then "yes" else "NO");
+  Printf.printf
+    "  reachable: %d ASes; rounds/offers/adoptions are in the metrics\n\
+    \  snapshot (topo.propagation.*) and identical for every domain count.\n"
+    (Propagation.reachable_count seq_r)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let bechamel () =
@@ -758,7 +818,7 @@ let bechamel () =
 let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("f2", f2); ("e4", e4); ("t1", t1);
     ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6);
-    ("chaos", chaos) ]
+    ("prop", prop); ("chaos", chaos) ]
 
 module Json = Peering_obs.Json
 module Metrics = Peering_obs.Metrics

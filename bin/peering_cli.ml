@@ -276,18 +276,27 @@ let stats_cmd =
     let doc = "Emit the snapshot as a JSON document instead of a table." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let domains_arg =
+    let doc =
+      "Worker domains for the valley-free propagation engine (default: \
+       runtime-recommended). The route tables — and the \
+       topo.propagation.* metrics — are identical for every value; only \
+       wall time changes."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
   let module Metrics = Peering_obs.Metrics in
   let module Json = Peering_obs.Json in
   let module Trace = Peering_sim.Trace in
   let module Router = Peering_router.Router in
   let module Obs_report = Peering_measure.Obs_report in
-  let run seed json =
+  let run seed domains json =
     Metrics.reset ();
     let trace = Trace.create () in
     (* Scenario 1: the quickstart experiment — controller, safety
        filter (one accepted announce, one blocked hijack, one
        withdrawal), route servers, propagation. *)
-    let params = { Testbed.default_params with Testbed.seed } in
+    let params = { Testbed.default_params with Testbed.seed; domains } in
     let t = Testbed.build ~params () in
     let engine = Testbed.engine t in
     Trace.attach trace ~clock:(fun () -> Engine.now engine);
@@ -375,7 +384,7 @@ let stats_cmd =
        ~doc:
          "Run an instrumented scenario (experiment lifecycle + a wire BGP \
           session) and print every metric the testbed recorded")
-    Term.(const run $ seed_arg $ json_arg)
+    Term.(const run $ seed_arg $ domains_arg $ json_arg)
 
 let chaos_cmd =
   let json_arg =

@@ -15,6 +15,7 @@ type params = {
   with_amsix : bool;
   with_phoenix : bool;
   bilateral_requests : bool;
+  domains : int option;
 }
 
 let default_params =
@@ -23,7 +24,8 @@ let default_params =
     university_sites = [ ("gatech01", 2); ("usc01", 2); ("ufmg01", 2) ];
     with_amsix = true;
     with_phoenix = true;
-    bilateral_requests = true
+    bilateral_requests = true;
+    domains = None
   }
 
 type site = {
@@ -61,6 +63,7 @@ type t = {
   mutable down : Asn.Set.t;
   mutable rov : (Peering_bgp.Rpki.t * Asn.Set.t) option;
   mutable monitor_rounds : int;
+  domains : int option;
 }
 
 let engine t = t.eng
@@ -116,7 +119,8 @@ let repropagate t prefix =
     t.active <- Prefix.Map.remove prefix t.active
   | Some anns ->
     let result =
-      Propagation.propagate ?deny:(rov_deny t) ~down:t.down (graph t)
+      Propagation.propagate ?deny:(rov_deny t) ~down:t.down ?domains:t.domains
+        (graph t)
         (List.map (fun a -> a.ann) anns)
     in
     t.results <- Prefix.Map.add prefix result t.results
@@ -230,7 +234,8 @@ let build ?(params = default_params) () =
       results = Prefix.Map.empty;
       down = Asn.Set.empty;
       rov = None;
-      monitor_rounds = 0
+      monitor_rounds = 0;
+      domains = params.domains
     }
   in
   let next_site_idx = ref 0 in

@@ -28,6 +28,10 @@ type params = {
   with_phoenix : bool;
   bilateral_requests : bool;
       (** send peering requests to all open non-RS AMS-IX members *)
+  domains : int option;
+      (** worker-domain bound handed to {!Propagation.propagate} on
+          every repropagation; [None] = the engine's default. The
+          propagation result is identical for every value. *)
 }
 
 val default_params : params

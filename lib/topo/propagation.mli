@@ -8,6 +8,15 @@
     customer routes climb provider links, cross one peer link, then
     descend to customers.
 
+    Two engines compute the same fixpoint. {!propagate} restructures
+    the phase-1/phase-3 work-queue into synchronized rounds whose
+    frontier is sharded across OCaml 5 domains; candidates are merged
+    in a stable total order (ascending target ASN, then {!better}), so
+    the adopted table is byte-identical for every domain count —
+    including one — and to the sequential reference {!propagate_seq},
+    which is kept as the oracle for the differential test harness
+    ([test/test_propagation_diff.ml]).
+
     This engine is what stands in for "the live Internet" reacting to
     PEERING announcements: route injection, selective announcements,
     AS-path poisoning (LIFEGUARD), prefix hijacks, and anycast
@@ -44,19 +53,60 @@ type route = {
   ann_index : int;  (** which announcement this route derives from *)
 }
 
+val class_pref : Relationship.t option -> int
+(** Gao–Rexford preference class: origin 3 > customer 2 > peer 1 >
+    provider 0. Exposed so tests can check the total-order laws the
+    parallel merge depends on. *)
+
+val better : route -> route -> bool
+(** [better a b] iff [a] is strictly preferred over [b]: higher
+    {!class_pref}, then shorter path, then lexicographically lowest
+    AS path (which subsumes "lowest next-hop ASN"), then lower
+    announcement index. A strict total order on route content — any
+    two distinct candidates compare strictly one way. Comparing the
+    full path before the announcement index makes a neighbor's
+    re-exported candidates monotonically improving, so stale imports
+    are always displaced and the fixpoint both engines converge to is
+    unique. *)
+
 type result
 
 val propagate :
   ?deny:(Asn.t -> announcement -> bool) ->
   ?down:Asn.Set.t ->
+  ?domains:int ->
   As_graph.t ->
   announcement list ->
   result
-(** Run propagation. [deny asn ann] lets an AS refuse a specific
-    announcement on import (modelling filters); ASes in [down] neither
-    import nor export anything (modelling failures). Announcements must
-    all carry the same prefix or covering/covered prefixes; each is
-    propagated independently and ASes pick their single best. *)
+(** Run propagation with the round-synchronized parallel engine.
+    [deny asn ann] lets an AS refuse a specific announcement on import
+    (modelling filters); ASes in [down] neither import nor export
+    anything (modelling failures). Announcements must all carry the
+    same prefix or covering/covered prefixes; each is propagated
+    independently and ASes pick their single best.
+
+    [domains] (default [Domain.recommended_domain_count ()], min 1)
+    bounds the worker domains used per round; the resulting table is
+    identical for every value. Candidate generation runs on worker
+    domains and only reads the graph and the round-start table; the
+    [deny] closure is invoked exclusively on the calling domain, so it
+    needs no synchronization. Records [topo.propagation.*] metrics
+    (rounds, offers, adoptions, frontier histogram) whose values are
+    also independent of [domains]. *)
+
+val propagate_seq :
+  ?deny:(Asn.t -> announcement -> bool) ->
+  ?down:Asn.Set.t ->
+  ?visit:(Asn.t -> unit) ->
+  As_graph.t ->
+  announcement list ->
+  result
+(** The sequential three-phase work-queue reference engine. Same
+    semantics and same result table as {!propagate}; kept as the oracle
+    for differential testing and records no metrics. Work queues are
+    seeded in ascending ASN order so the visit order is a function of
+    the inputs alone, not of hash-table layout. [visit] is a test hook
+    called on every AS dequeued in phases 1 and 3, in order. *)
 
 val route_at : result -> Asn.t -> route option
 (** The route the AS selected, [None] if unreachable. *)
@@ -66,6 +116,10 @@ val path_at : result -> Asn.t -> Asn.t list option
 val full_path : result -> Asn.t -> Asn.t list option
 (** [full_path r asn] is [asn :: path], i.e. the forwarding AS-level
     path starting at [asn], for ASes with a route. *)
+
+val table : result -> (Asn.t * route) list
+(** The full adopted table, ascending by ASN — the unit of comparison
+    for the differential harness and the bench's byte-identity check. *)
 
 val reachable : result -> Asn.t list
 (** ASes holding a route, ascending. *)
