@@ -271,27 +271,31 @@ let check_cmd =
           (rcc-style); exit 1 if any error-severity diagnostic fires")
     Term.(const run $ codes_arg $ files_arg)
 
-let stats_cmd =
-  let json_arg =
-    let doc = "Emit the snapshot as a JSON document instead of a table." in
-    Arg.(value & flag & info [ "json" ] ~doc)
-  in
-  let domains_arg =
-    let doc =
-      "Worker domains for the valley-free propagation engine (default: \
-       runtime-recommended). The route tables — and the \
-       topo.propagation.* metrics — are identical for every value; only \
-       wall time changes."
-    in
-    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
-  in
-  let module Metrics = Peering_obs.Metrics in
-  let module Json = Peering_obs.Json in
-  let module Trace = Peering_sim.Trace in
-  let module Router = Peering_router.Router in
-  let module Obs_report = Peering_measure.Obs_report in
-  let run seed domains json =
+(* ------------------------------------------------------------------ *)
+(* The seeded end-to-end scenario behind [stats] and [trace]: an
+   experiment announcement through controller/safety/mux-export, a wire
+   BGP session, an IXP route-server pass and a dataplane packet, all on
+   one deterministic engine. The chosen announcement, the route-server
+   redistribution of its prefix and the tunnel packet it makes
+   deliverable run under one root span, so with span collection on the
+   whole story lands in a single causal tree. *)
+
+module Scenario = struct
+  module Metrics = Peering_obs.Metrics
+  module Span = Peering_obs.Span
+  module Sink = Peering_obs.Sink
+  module Trace = Peering_sim.Trace
+  module Router = Peering_router.Router
+  module Route_server = Peering_ixp.Route_server
+  module Tunnel = Peering_dataplane.Tunnel
+  module Fib = Peering_dataplane.Fib
+  module Packet = Peering_dataplane.Packet
+
+  let run ?(record_spans = false) ~seed ~domains () =
     Metrics.reset ();
+    Span.reset ();
+    if record_spans then Sink.start_flight_recorder ()
+    else Sink.stop_flight_recorder ();
     let trace = Trace.create () in
     (* Scenario 1: the quickstart experiment — controller, safety
        filter (one accepted announce, one blocked hijack, one
@@ -311,9 +315,39 @@ let stats_cmd =
     let client = Client.create ~id:"stats-client" ~experiment () in
     Testbed.connect_client t client ~sites:[ "amsterdam01"; "gatech01" ];
     let prefix = List.hd experiment.Experiment.prefixes in
-    ignore (Client.announce client prefix);
+    (* Scenario 3 and 4 props, built up front so the announcement's
+       root span below can cover their causally-linked activity: an
+       IXP route server redistributing the experiment prefix (one
+       community-filtered delivery), and a tunnel carrying a packet. *)
+    let rs = Route_server.create () in
+    List.iter (fun m -> Route_server.connect rs (Asn.of_int m)) [ 10; 20; 30 ];
+    let fwd = Forwarder.create engine in
+    Forwarder.add_node fwd "client";
+    Forwarder.add_node fwd "mux";
+    let tun = Tunnel.establish fwd engine ~a:"client" ~b:"mux" () in
+    Tunnel.route_via tun ~at:"client" (Prefix.of_string_exn "172.16.0.0/12");
+    Forwarder.set_route fwd "mux" (Prefix.of_string_exn "172.16.0.0/12")
+      Fib.Local;
+    Span.with_span
+      ~time:(fun () -> Engine.now engine)
+      ~attrs:[ ("prefix", Prefix.to_string prefix) ]
+      "experiment.announce"
+      (fun () ->
+        ignore (Client.announce client prefix);
+        let rs_route =
+          Peering_bgp.Route.make prefix
+            (Peering_bgp.Attrs.make
+               ~as_path:(Peering_bgp.As_path.of_asns [ Asn.of_int 10 ])
+               ~communities:[ Peering_bgp.Community.make 0 20 ]
+               ~next_hop:(Ipv4.of_octets 192 0 2 1) ())
+        in
+        ignore (Route_server.announce rs ~from:(Asn.of_int 10) rs_route);
+        Forwarder.inject fwd ~at:"client"
+          (Packet.make ~src:(Ipv4.of_octets 10 1 0 1)
+             ~dst:(Ipv4.of_octets 172 16 1 1) ~size:500 ()));
     ignore (Client.announce client (Prefix.of_string_exn "8.8.8.0/24"));
     Client.withdraw client prefix;
+    ignore (Route_server.withdraw rs ~from:(Asn.of_int 10) prefix);
     (* Scenario 2: a wire BGP session between two software routers —
        FSM transitions, OPEN/KEEPALIVE/UPDATE bytes, decision runs. *)
     let a1 = Ipv4.of_octets 10 0 0 1 and a2 = Ipv4.of_octets 10 0 0 2 in
@@ -323,38 +357,69 @@ let stats_cmd =
     Router.originate r2 (Prefix.of_string_exn "10.2.0.0/16");
     let _session = Router.connect engine (r1, a1) (r2, a2) in
     Engine.run_for engine 30.0;
-    (* Scenario 3: an IXP route server redistributing one member's
-       announcement to the rest, with a community-filtered delivery. *)
-    let module Route_server = Peering_ixp.Route_server in
-    let rs = Route_server.create () in
-    List.iter (fun m -> Route_server.connect rs (Asn.of_int m)) [ 10; 20; 30 ];
-    let rs_route =
-      Peering_bgp.Route.make
-        (Prefix.of_string_exn "203.0.113.0/24")
-        (Peering_bgp.Attrs.make
-           ~as_path:(Peering_bgp.As_path.of_asns [ Asn.of_int 10 ])
-           ~communities:[ Peering_bgp.Community.make 0 20 ]
-           ~next_hop:(Ipv4.of_octets 192 0 2 1) ())
-    in
-    ignore (Route_server.announce rs ~from:(Asn.of_int 10) rs_route);
-    ignore (Route_server.withdraw rs ~from:(Asn.of_int 10)
-        (Prefix.of_string_exn "203.0.113.0/24"));
-    (* Scenario 4: the dataplane — a packet through a tunnel. *)
-    let module Tunnel = Peering_dataplane.Tunnel in
-    let module Fib = Peering_dataplane.Fib in
-    let module Packet = Peering_dataplane.Packet in
-    let fwd = Forwarder.create engine in
-    Forwarder.add_node fwd "client";
-    Forwarder.add_node fwd "mux";
-    let tun = Tunnel.establish fwd engine ~a:"client" ~b:"mux" () in
-    Tunnel.route_via tun ~at:"client" (Prefix.of_string_exn "172.16.0.0/12");
-    Forwarder.set_route fwd "mux" (Prefix.of_string_exn "172.16.0.0/12")
-      Fib.Local;
-    Forwarder.inject fwd ~at:"client"
-      (Packet.make ~src:(Ipv4.of_octets 10 1 0 1)
-         ~dst:(Ipv4.of_octets 172 16 1 1) ~size:500 ());
     Engine.run_for engine 1.0;
     Trace.detach ();
+    if record_spans then Sink.stop_flight_recorder ();
+    (trace, prefix)
+end
+
+let stats_cmd =
+  let json_arg =
+    let doc = "Emit the snapshot as a JSON document instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains for the valley-free propagation engine (default: \
+       runtime-recommended). The route tables — and the \
+       topo.propagation.* metrics — are identical for every value; only \
+       wall time changes."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let events_arg =
+    let doc =
+      "Also dump every retained trace event to $(docv) as a JSON array, \
+       streamed row by row (one object per event: time, level, \
+       subsystem, causal span ids, rendered message)."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let module Json = Peering_obs.Json in
+  let module Span = Peering_obs.Span in
+  let module Trace = Peering_sim.Trace in
+  let module Obs_report = Peering_measure.Obs_report in
+  let dump_events trace file =
+    let oc = open_out file in
+    let w = Json.Writer.to_channel ~indent:2 oc in
+    Json.Writer.begin_arr w;
+    List.iter
+      (fun (e : Trace.event) ->
+        Json.Writer.value w
+          (Json.Obj
+             [ ("time", Json.Float e.Trace.time);
+               ( "level",
+                 Json.String (Peering_obs.Event.level_to_string e.Trace.level)
+               );
+               ("subsystem", Json.String e.Trace.subsystem);
+               ( "trace",
+                 match e.Trace.span with
+                 | None -> Json.Null
+                 | Some c -> Json.Int c.Span.trace );
+               ( "span",
+                 match e.Trace.span with
+                 | None -> Json.Null
+                 | Some c -> Json.Int c.Span.span );
+               ("message", Json.String (Trace.message e))
+             ]))
+      (Trace.events trace);
+    Json.Writer.end_arr w;
+    Json.Writer.close w;
+    close_out oc
+  in
+  let run seed domains json events_file =
+    let trace, _prefix = Scenario.run ~seed ~domains () in
+    Option.iter (dump_events trace) events_file;
     if json then
       let doc =
         Json.Obj
@@ -384,7 +449,179 @@ let stats_cmd =
        ~doc:
          "Run an instrumented scenario (experiment lifecycle + a wire BGP \
           session) and print every metric the testbed recorded")
-    Term.(const run $ seed_arg $ domains_arg $ json_arg)
+    Term.(const run $ seed_arg $ domains_arg $ json_arg $ events_arg)
+
+let trace_cmd =
+  let json_arg =
+    let doc =
+      "Emit the causal tree as a JSON document (byte-identical across \
+       identically seeded runs)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let module Json = Peering_obs.Json in
+  let module Span = Peering_obs.Span in
+  let module Sink = Peering_obs.Sink in
+  let module Trace = Peering_sim.Trace in
+  let run seed json =
+    let trace, prefix = Scenario.run ~record_spans:true ~seed ~domains:None () in
+    let spans = Sink.flight_spans () in
+    let by_id = Hashtbl.create 64 in
+    let child_tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (sp : Span.completed) ->
+        Hashtbl.replace by_id sp.Span.ctx.Span.span sp;
+        match sp.Span.ctx.Span.parent with
+        | None -> ()
+        | Some p ->
+          Hashtbl.replace child_tbl p
+            (sp :: Option.value (Hashtbl.find_opt child_tbl p) ~default:[]))
+      spans;
+    (* Span ids are minted sequentially, so sorting children by id
+       recovers causal order deterministically. *)
+    let children sp =
+      List.sort
+        (fun (a : Span.completed) (b : Span.completed) ->
+          compare a.Span.ctx.Span.span b.Span.ctx.Span.span)
+        (Option.value
+           (Hashtbl.find_opt child_tbl sp.Span.ctx.Span.span)
+           ~default:[])
+    in
+    let ev_tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Trace.event) ->
+        match e.Trace.span with
+        | None -> ()
+        | Some c ->
+          Hashtbl.replace ev_tbl c.Span.span
+            (e :: Option.value (Hashtbl.find_opt ev_tbl c.Span.span) ~default:[]))
+      (Trace.events trace);
+    let events_of sp =
+      List.rev
+        (Option.value (Hashtbl.find_opt ev_tbl sp.Span.ctx.Span.span)
+           ~default:[])
+    in
+    let root =
+      match
+        List.find_opt
+          (fun (sp : Span.completed) ->
+            sp.Span.name = "experiment.announce"
+            && List.mem_assoc "prefix" sp.Span.attrs
+            && List.assoc "prefix" sp.Span.attrs = Prefix.to_string prefix)
+          spans
+      with
+      | Some r -> r
+      | None ->
+        prerr_endline "trace: no span recorded for the scenario announcement";
+        exit 1
+    in
+    (* Critical path: the chain from the root to the descendant whose
+       span ends latest (ties go to the earliest-minted span). *)
+    let rec latest_leaf best sp =
+      let best =
+        if sp.Span.ended > best.Span.ended then sp else best
+      in
+      List.fold_left latest_leaf best (children sp)
+    in
+    let tip = latest_leaf root root in
+    let rec path_to sp acc =
+      let acc = sp :: acc in
+      match sp.Span.ctx.Span.parent with
+      | None -> acc
+      | Some p -> (
+        match Hashtbl.find_opt by_id p with
+        | Some parent -> path_to parent acc
+        | None -> acc)
+    in
+    let critical = path_to tip [] in
+    let tree_size =
+      let rec count sp = 1 + List.fold_left (fun n c -> n + count c) 0 (children sp) in
+      count root
+    in
+    if json then begin
+      let attrs_json attrs =
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) attrs)
+      in
+      let event_json (e : Trace.event) =
+        Json.Obj
+          [ ("time", Json.Float e.Trace.time);
+            ( "level",
+              Json.String (Peering_obs.Event.level_to_string e.Trace.level) );
+            ("subsystem", Json.String e.Trace.subsystem);
+            ("message", Json.String (Trace.message e))
+          ]
+      in
+      let rec span_json (sp : Span.completed) =
+        Json.Obj
+          [ ("name", Json.String sp.Span.name);
+            ("span", Json.Int sp.Span.ctx.Span.span);
+            ("start", Json.Float sp.Span.started);
+            ("end", Json.Float sp.Span.ended);
+            ("attrs", attrs_json sp.Span.attrs);
+            ("events", Json.List (List.map event_json (events_of sp)));
+            ("children", Json.List (List.map span_json (children sp)))
+          ]
+      in
+      let doc =
+        Json.Obj
+          [ ("schema", Json.String "peering-trace/1");
+            ("seed", Json.Int seed);
+            ("prefix", Json.String (Prefix.to_string prefix));
+            ("spans_recorded", Json.Int (List.length spans));
+            ("spans_dropped", Json.Int (Sink.flight_dropped ()));
+            ("tree_spans", Json.Int tree_size);
+            ("tree", span_json root);
+            ( "critical_path",
+              Json.List
+                (List.map
+                   (fun (sp : Span.completed) ->
+                     Json.Obj
+                       [ ("name", Json.String sp.Span.name);
+                         ("span", Json.Int sp.Span.ctx.Span.span);
+                         ("start", Json.Float sp.Span.started);
+                         ("end", Json.Float sp.Span.ended)
+                       ])
+                   critical) )
+          ]
+      in
+      print_endline (Json.to_string ~indent:2 doc)
+    end
+    else begin
+      Printf.printf "causal trace for announcement of %s (seed %d)\n"
+        (Prefix.to_string prefix) seed;
+      Printf.printf "%d spans in this tree (%d recorded, %d dropped)\n\n"
+        tree_size (List.length spans) (Sink.flight_dropped ());
+      let attrs_str attrs =
+        String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "  %s=%s" k v) attrs)
+      in
+      let rec print_span indent (sp : Span.completed) =
+        Printf.printf "%s%s  [%.3f, %.3f]%s\n" indent sp.Span.name
+          sp.Span.started sp.Span.ended
+          (attrs_str sp.Span.attrs);
+        List.iter
+          (fun (e : Trace.event) ->
+            Printf.printf "%s  * [%.3f] %s\n" indent e.Trace.time
+              (Trace.message e))
+          (events_of sp);
+        List.iter (print_span (indent ^ "    ")) (children sp)
+      in
+      print_span "" root;
+      Printf.printf "\ncritical path (%d spans, ends t=%.3f):\n"
+        (List.length critical) tip.Span.ended;
+      Printf.printf "  %s\n"
+        (String.concat " -> "
+           (List.map (fun (sp : Span.completed) -> sp.Span.name) critical))
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the seeded end-to-end scenario with causal span collection \
+          on and render the announcement's span tree (safety verdict, mux \
+          export, wire UPDATEs, route-server fan-out, tunnel forward) plus \
+          its critical path")
+    Term.(const run $ seed_arg $ json_arg)
 
 let chaos_cmd =
   let json_arg =
@@ -485,4 +722,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
-            config_cmd; check_cmd; portal_cmd; stats_cmd; chaos_cmd ]))
+            config_cmd; check_cmd; portal_cmd; stats_cmd; trace_cmd;
+            chaos_cmd ]))

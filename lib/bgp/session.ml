@@ -2,6 +2,7 @@ open Peering_net
 module Engine = Peering_sim.Engine
 module Metrics = Peering_obs.Metrics
 module Sink = Peering_obs.Sink
+module Span = Peering_obs.Span
 
 let m_wire_messages =
   Metrics.counter ~help:"BGP messages placed on the wire" "bgp.wire.messages"
@@ -44,11 +45,32 @@ let transmit t ~(sender : unit -> Fsm.t) ~(receiver : unit -> Fsm.t) msg =
   t.messages <- t.messages + 1;
   Metrics.Counter.inc m_wire_messages;
   Metrics.Counter.add m_wire_bytes (Bytes.length bytes);
+  (* A wire UPDATE is one of the traced entry points: a fresh root span
+     when nothing caused it, a child when an announcement export (or
+     another ambient span) did. The span stays open across the wire and
+     is finished when the receiver consumes the bytes, so its duration
+     is the wire latency in virtual time. *)
+  let sp =
+    match msg with
+    | Message.Update _ when Span.enabled () ->
+      Some
+        (Span.start ~time:(Engine.now t.engine) "bgp.session.update"
+           ~attrs:[ ("peer", Fsm.peer_label (sender ())) ])
+    | _ -> None
+  in
+  let finish_sp fate =
+    match sp with
+    | None -> ()
+    | Some s ->
+      Span.finish s ~time:(Engine.now t.engine) ~attrs:[ ("fate", fate) ]
+  in
   (match msg with
   | Message.Update u ->
     Metrics.Counter.inc m_updates_tx;
     if Sink.active () then
-      Sink.emit ~time:(Engine.now t.engine) ~subsystem:"bgp.session"
+      Sink.emit
+        ?span:(Option.map Span.context sp)
+        ~time:(Engine.now t.engine) ~subsystem:"bgp.session"
         (Peering_obs.Event.Update_tx
            { peer = Fsm.peer_label (sender ());
              announced = List.length u.Message.nlri;
@@ -56,24 +78,34 @@ let transmit t ~(sender : unit -> Fsm.t) ~(receiver : unit -> Fsm.t) msg =
            })
   | Message.Open _ | Message.Keepalive | Message.Notification _ -> ());
   let deliver ?(extra = 0.0) bytes =
-    Engine.schedule t.engine ~delay:(t.latency +. extra) (fun () ->
-        let rx = receiver () in
-        let opts =
-          Option.value (Fsm.negotiated rx) ~default:Wire.default_opts
-        in
-        match Wire.decode opts bytes ~pos:0 with
-        | Ok (msg, _) -> Fsm.handle rx msg
-        | Error e ->
-          Metrics.Counter.inc m_decode_errors;
-          Fsm.handle_garbage rx
-            ~reason:("wire decode failed: " ^ Wire.error_to_string e))
+    let schedule () =
+      Engine.schedule t.engine ~delay:(t.latency +. extra) (fun () ->
+          let rx = receiver () in
+          let opts =
+            Option.value (Fsm.negotiated rx) ~default:Wire.default_opts
+          in
+          (match Wire.decode opts bytes ~pos:0 with
+          | Ok (msg, _) -> Fsm.handle rx msg
+          | Error e ->
+            Metrics.Counter.inc m_decode_errors;
+            Fsm.handle_garbage rx
+              ~reason:("wire decode failed: " ^ Wire.error_to_string e));
+          (* Idempotent: a duplicated UPDATE finishes on its first
+             delivery and the second is a no-op. *)
+          finish_sp "delivered")
+    in
+    (* Run the scheduling under the UPDATE's span so the engine captures
+       it and the receive-side processing stays on this causal path. *)
+    match sp with
+    | None -> schedule ()
+    | Some s -> Span.with_current (Some (Span.context s)) schedule
   in
   match t.fault_hook with
   | None -> deliver bytes
   | Some hook -> (
     match hook msg with
     | None -> deliver bytes
-    | Some Drop -> ()
+    | Some Drop -> finish_sp "dropped"
     | Some Duplicate ->
       deliver bytes;
       deliver bytes

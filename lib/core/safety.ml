@@ -2,6 +2,7 @@ open Peering_net
 open Peering_bgp
 module Metrics = Peering_obs.Metrics
 module Sink = Peering_obs.Sink
+module Span = Peering_obs.Span
 
 let m_accepted =
   Metrics.counter ~help:"announcements accepted by the safety filter"
@@ -93,27 +94,45 @@ let check_announce_inner t ~now ~client ~experiment ~prefix ~path_suffix =
         end)
 
 let check_announce t ~now ~client ~experiment ~prefix ~path_suffix =
-  let result =
-    check_announce_inner t ~now ~client ~experiment ~prefix ~path_suffix
+  let run () =
+    let result =
+      check_announce_inner t ~now ~client ~experiment ~prefix ~path_suffix
+    in
+    (match result with
+    | Ok () -> Metrics.Counter.inc m_accepted
+    | Error _ -> Metrics.Counter.inc m_rejected);
+    if Sink.active () then begin
+      let verdict =
+        match result with
+        | Ok () -> Peering_obs.Event.Accepted
+        | Error r -> Peering_obs.Event.Rejected (reason_to_string r)
+      in
+      let level =
+        match result with
+        | Ok () -> Peering_obs.Event.Info
+        | Error _ -> Peering_obs.Event.Warn
+      in
+      Sink.emit ~time:now ~level ~subsystem:"core.safety"
+        (Peering_obs.Event.Safety_verdict { client; prefix; verdict })
+    end;
+    result
   in
-  (match result with
-  | Ok () -> Metrics.Counter.inc m_accepted
-  | Error _ -> Metrics.Counter.inc m_rejected);
-  if Sink.active () then begin
-    let verdict =
-      match result with
-      | Ok () -> Peering_obs.Event.Accepted
-      | Error r -> Peering_obs.Event.Rejected (reason_to_string r)
+  if not (Span.enabled ()) then run ()
+  else begin
+    let sp =
+      Span.start ~time:now "core.safety.check"
+        ~attrs:[ ("client", client); ("prefix", Prefix.to_string prefix) ]
     in
-    let level =
-      match result with
-      | Ok () -> Peering_obs.Event.Info
-      | Error _ -> Peering_obs.Event.Warn
-    in
-    Sink.emit ~time:now ~level ~subsystem:"core.safety"
-      (Peering_obs.Event.Safety_verdict { client; prefix; verdict })
-  end;
-  result
+    let result = Span.with_current (Some (Span.context sp)) run in
+    Span.finish sp ~time:now
+      ~attrs:
+        [ ( "verdict",
+            match result with
+            | Ok () -> "accepted"
+            | Error r -> reason_to_string r )
+        ];
+    result
+  end
 
 let note_withdraw t ~now ~client ~prefix =
   Metrics.Counter.inc m_withdraw_flaps;

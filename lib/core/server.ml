@@ -2,40 +2,74 @@ open Peering_net
 open Peering_bgp
 module Engine = Peering_sim.Engine
 module Metrics = Peering_obs.Metrics
+module Span = Peering_obs.Span
 
-let m_client_connects =
-  Metrics.counter ~help:"experiment clients connected to a mux"
+(* Every mux counter is split by site (ROADMAP: per-site labeled
+   metrics, so the A5 remote-peering economics read straight off a
+   snapshot). Each server resolves its instruments once at creation
+   through the family's label-set cache; increments stay O(1) and
+   allocation-free. *)
+let fam_client_connects =
+  Metrics.Family.counter ~help:"experiment clients connected to a mux"
     "core.server.client_connects"
 
-let m_routes_learned =
-  Metrics.counter ~help:"routes learned from upstream peers"
+let fam_routes_learned =
+  Metrics.Family.counter ~help:"routes learned from upstream peers"
     "core.server.routes_learned"
 
-let m_updates_to_clients =
-  Metrics.counter ~help:"route updates relayed to experiment clients"
+let fam_updates_to_clients =
+  Metrics.Family.counter ~help:"route updates relayed to experiment clients"
     "core.server.updates_to_clients"
 
-let m_announces_exported =
-  Metrics.counter ~help:"client announcements exported to peers"
+let fam_announces_exported =
+  Metrics.Family.counter ~help:"client announcements exported to peers"
     "core.server.announces_exported"
 
-let m_withdraws_exported =
-  Metrics.counter ~help:"client withdrawals exported to peers"
+let fam_withdraws_exported =
+  Metrics.Family.counter ~help:"client withdrawals exported to peers"
     "core.server.withdraws_exported"
 
-let m_crashes =
-  Metrics.counter ~help:"mux crashes injected" "core.server.crashes"
+let fam_crashes =
+  Metrics.Family.counter ~help:"mux crashes injected" "core.server.crashes"
 
-let m_restarts =
-  Metrics.counter ~help:"mux restarts after a crash" "core.server.restarts"
+let fam_restarts =
+  Metrics.Family.counter ~help:"mux restarts after a crash"
+    "core.server.restarts"
 
-let m_failovers =
-  Metrics.counter ~help:"client sessions re-synchronized after a mux restart"
+let fam_failovers =
+  Metrics.Family.counter
+    ~help:"client sessions re-synchronized after a mux restart"
     "core.server.client_failovers"
 
-let m_downtime =
-  Metrics.histogram ~help:"mux downtime per crash/restart cycle (virtual s)"
+let fam_downtime =
+  Metrics.Family.histogram
+    ~help:"mux downtime per crash/restart cycle (virtual s)"
     "core.server.downtime_s"
+
+type site_metrics = {
+  m_client_connects : Metrics.Counter.t;
+  m_routes_learned : Metrics.Counter.t;
+  m_updates_to_clients : Metrics.Counter.t;
+  m_announces_exported : Metrics.Counter.t;
+  m_withdraws_exported : Metrics.Counter.t;
+  m_crashes : Metrics.Counter.t;
+  m_restarts : Metrics.Counter.t;
+  m_failovers : Metrics.Counter.t;
+  m_downtime : Metrics.Histogram.t;
+}
+
+let site_metrics site =
+  let labels = [ ("site", site) ] in
+  { m_client_connects = Metrics.Family.get fam_client_connects labels;
+    m_routes_learned = Metrics.Family.get fam_routes_learned labels;
+    m_updates_to_clients = Metrics.Family.get fam_updates_to_clients labels;
+    m_announces_exported = Metrics.Family.get fam_announces_exported labels;
+    m_withdraws_exported = Metrics.Family.get fam_withdraws_exported labels;
+    m_crashes = Metrics.Family.get fam_crashes labels;
+    m_restarts = Metrics.Family.get fam_restarts labels;
+    m_failovers = Metrics.Family.get fam_failovers labels;
+    m_downtime = Metrics.Family.get fam_downtime labels
+  }
 
 type mux_mode = Per_peer_sessions | Add_path_mux
 
@@ -73,6 +107,7 @@ type client_conn = {
 type t = {
   engine : Engine.t;
   server_name : string;
+  m : site_metrics;
   asn : Asn.t;
   safety : Safety.t;
   mux : mux_mode;
@@ -88,6 +123,7 @@ type t = {
 let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
   { engine;
     server_name = name;
+    m = site_metrics name;
     asn;
     safety;
     mux;
@@ -151,47 +187,89 @@ let connect_client t ~experiment ?callbacks id =
     invalid_arg "Server.connect_client: duplicate client id";
   let conn = { id; experiment; callbacks; announced = Prefix.Map.empty } in
   t.conns <- t.conns @ [ conn ];
-  Metrics.Counter.inc m_client_connects;
+  Metrics.Counter.inc t.m.m_client_connects;
   replay_to conn t
 
 let clients t = List.map (fun c -> c.id) t.conns
 let n_clients t = List.length t.conns
 
+let engine_clock t () = Engine.now t.engine
+
+(* The export callback runs under its own child span so downstream
+   work it triggers (BGP transmits, route-server fan-out, scheduled
+   wire deliveries) hangs off the announcement that caused it. *)
+let export_spanned t ev =
+  Span.with_span ~time:(engine_clock t)
+    ~attrs:[ ("site", t.server_name) ]
+    "core.server.export"
+    (fun () -> t.export ev)
+
 let announce t ~client ?peers ?(path_suffix = []) prefix =
-  let conn = find_conn_exn t client in
-  if not t.up then Error Safety.Mux_down
-  else
-    let now = Engine.now t.engine in
-    match
-      Safety.check_announce t.safety ~now ~client ~experiment:conn.experiment
-        ~prefix ~path_suffix
-    with
-    | Error e -> Error e
-    | Ok () ->
-      let sanitized =
-        Safety.sanitize_suffix t.safety conn.experiment path_suffix
-      in
-      let all_peers = Asn.Set.of_list (peer_asns t) in
-      let targets =
-        match peers with
-        | None -> all_peers
-        | Some l -> Asn.Set.inter all_peers (Asn.Set.of_list l)
-      in
-      conn.announced <- Prefix.Map.add prefix (targets, sanitized) conn.announced;
-      Metrics.Counter.inc m_announces_exported;
-      t.export
-        (Export_announce
-           { client; prefix; path_suffix = sanitized; peers = targets });
-      Ok ()
+  let run () =
+    let conn = find_conn_exn t client in
+    if not t.up then Error Safety.Mux_down
+    else
+      let now = Engine.now t.engine in
+      match
+        Safety.check_announce t.safety ~now ~client ~experiment:conn.experiment
+          ~prefix ~path_suffix
+      with
+      | Error e -> Error e
+      | Ok () ->
+        let sanitized =
+          Safety.sanitize_suffix t.safety conn.experiment path_suffix
+        in
+        let all_peers = Asn.Set.of_list (peer_asns t) in
+        let targets =
+          match peers with
+          | None -> all_peers
+          | Some l -> Asn.Set.inter all_peers (Asn.Set.of_list l)
+        in
+        conn.announced <-
+          Prefix.Map.add prefix (targets, sanitized) conn.announced;
+        Metrics.Counter.inc t.m.m_announces_exported;
+        export_spanned t
+          (Export_announce
+             { client; prefix; path_suffix = sanitized; peers = targets });
+        Ok ()
+  in
+  if not (Span.enabled ()) then run ()
+  else begin
+    (* Root of the causal tree when the announcement enters here (the
+       client API is one of the system's entry points); a child if the
+       caller already opened one. *)
+    let sp =
+      Span.start ~time:(Engine.now t.engine) "core.server.announce"
+        ~attrs:
+          [ ("site", t.server_name); ("client", client);
+            ("prefix", Prefix.to_string prefix) ]
+    in
+    let result = Span.with_current (Some (Span.context sp)) run in
+    Span.finish sp ~time:(Engine.now t.engine)
+      ~attrs:
+        [ ( "outcome",
+            match result with
+            | Ok () -> "exported"
+            | Error r -> Safety.reason_to_string r )
+        ];
+    result
+  end
 
 let withdraw t ~client prefix =
-  let conn = find_conn_exn t client in
-  if t.up && Prefix.Map.mem prefix conn.announced then begin
-    conn.announced <- Prefix.Map.remove prefix conn.announced;
-    Safety.note_withdraw t.safety ~now:(Engine.now t.engine) ~client ~prefix;
-    Metrics.Counter.inc m_withdraws_exported;
-    t.export (Export_withdraw { client; prefix })
-  end
+  let run () =
+    let conn = find_conn_exn t client in
+    if t.up && Prefix.Map.mem prefix conn.announced then begin
+      conn.announced <- Prefix.Map.remove prefix conn.announced;
+      Safety.note_withdraw t.safety ~now:(Engine.now t.engine) ~client ~prefix;
+      Metrics.Counter.inc t.m.m_withdraws_exported;
+      export_spanned t (Export_withdraw { client; prefix })
+    end
+  in
+  Span.with_span ~time:(engine_clock t)
+    ~attrs:
+      [ ("site", t.server_name); ("client", client);
+        ("prefix", Prefix.to_string prefix) ]
+    "core.server.withdraw" run
 
 let announced_prefixes t ~client =
   let conn = find_conn_exn t client in
@@ -228,12 +306,12 @@ let learn_route t ~peer ~path prefix =
     in
     let table = peer_table t peer in
     table := Prefix.Map.add prefix route !table;
-    Metrics.Counter.inc m_routes_learned;
+    Metrics.Counter.inc t.m.m_routes_learned;
     List.iter
       (fun conn ->
         match conn.callbacks with
         | Some cb ->
-          Metrics.Counter.inc m_updates_to_clients;
+          Metrics.Counter.inc t.m.m_updates_to_clients;
           cb.route_update ~peer route
         | None -> ())
       t.conns
@@ -263,15 +341,15 @@ let crash t =
        be re-learned after restart. Client registrations (and the
        safety registry) live in the controller and survive. *)
     Hashtbl.reset t.learned;
-    Metrics.Counter.inc m_crashes
+    Metrics.Counter.inc t.m.m_crashes
   end
 
 let restart t =
   if not t.up then begin
     t.up <- true;
-    Metrics.Counter.inc m_restarts;
+    Metrics.Counter.inc t.m.m_restarts;
     (match t.crashed_at with
-    | Some at -> Metrics.Histogram.observe m_downtime (Engine.now t.engine -. at)
+    | Some at -> Metrics.Histogram.observe t.m.m_downtime (Engine.now t.engine -. at)
     | None -> ());
     t.crashed_at <- None;
     (* Failover: re-issue every client's surviving announcements so
@@ -279,7 +357,7 @@ let restart t =
     List.iter
       (fun conn ->
         if not (Prefix.Map.is_empty conn.announced) then
-          Metrics.Counter.inc m_failovers;
+          Metrics.Counter.inc t.m.m_failovers;
         Prefix.Map.iter
           (fun prefix (targets, sanitized) ->
             t.export

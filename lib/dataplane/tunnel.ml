@@ -2,6 +2,7 @@ open Peering_net
 module Engine = Peering_sim.Engine
 module Metrics = Peering_obs.Metrics
 module Sink = Peering_obs.Sink
+module Span = Peering_obs.Span
 
 let m_packets =
   Metrics.counter ~help:"packets carried through tunnels"
@@ -13,6 +14,13 @@ let m_bytes =
 let m_blackholed =
   Metrics.counter ~help:"packets silently dropped by blackholed tunnels"
     "dataplane.tunnel.blackholed_packets"
+
+(* Round-trip estimate per forwarded packet: twice the one-way transit
+   the packet actually experienced in virtual time. Rendered with
+   p50/p90/p99 by [peering_cli stats] like every histogram. *)
+let m_rtt =
+  Metrics.histogram ~help:"tunnel round-trip time estimate (virtual s)"
+    "dataplane.tunnel.rtt_s"
 
 type t = {
   fwd : Forwarder.t;
@@ -51,17 +59,41 @@ let establish fwd engine ?(latency = 0.02) ~a ~b () =
              exactly what the fault models. *)
           Metrics.Counter.inc m_blackholed
         else if t.up then begin
+          let entered = Engine.now engine in
           t.bytes <- t.bytes + pkt.Packet.size;
           t.packets <- t.packets + 1;
           Metrics.Counter.inc m_packets;
           Metrics.Counter.add m_bytes pkt.Packet.size;
+          (* The forward span stays open across the scheduled transit,
+             so its duration is the tunnel latency in virtual time. *)
+          let sp =
+            if Span.enabled () then
+              Some
+                (Span.start ~time:entered "dataplane.tunnel.forward"
+                   ~attrs:
+                     [ ("tunnel", tag);
+                       ("bytes", string_of_int pkt.Packet.size) ])
+            else None
+          in
           if Sink.active () then
-            Sink.emit ~time:(Engine.now engine)
-              ~level:Peering_obs.Event.Debug ~subsystem:"dataplane.tunnel"
+            Sink.emit
+              ?span:(Option.map Span.context sp)
+              ~time:entered ~level:Peering_obs.Event.Debug
+              ~subsystem:"dataplane.tunnel"
               (Peering_obs.Event.Tunnel_forward
                  { tunnel = tag; bytes = pkt.Packet.size });
-          Engine.schedule engine ~delay:t.latency (fun () ->
-              Forwarder.inject fwd ~at:far pkt)
+          let deliver () =
+            Engine.schedule engine ~delay:t.latency (fun () ->
+                Forwarder.inject fwd ~at:far pkt;
+                let now = Engine.now engine in
+                Metrics.Histogram.observe m_rtt ((now -. entered) *. 2.0);
+                match sp with
+                | None -> ()
+                | Some s -> Span.finish s ~time:now)
+          in
+          match sp with
+          | None -> deliver ()
+          | Some s -> Span.with_current (Some (Span.context s)) deliver
         end)
   in
   make_entrance via_a b;

@@ -3,6 +3,7 @@ module Engine = Peering_sim.Engine
 module Rng = Peering_sim.Rng
 module Metrics = Peering_obs.Metrics
 module Sink = Peering_obs.Sink
+module Span = Peering_obs.Span
 
 let m_injected =
   Metrics.counter ~help:"fault-plan steps applied" "fault.injected"
@@ -123,7 +124,7 @@ let profile_hook t (p : Plan.link_profile) _msg =
   end
   else None
 
-let apply t fault =
+let apply_fault t fault =
   emit_fault t fault;
   match fault with
   | Plan.Impair { link; profile; duration } ->
@@ -151,6 +152,16 @@ let apply t fault =
     Engine.schedule t.engine ~delay:duration (fun () ->
         Peering_dataplane.Tunnel.set_blackhole tun false;
         emit_recovered t ~target:tunnel ~after_s:duration)
+
+(* A chaos fault is one of the traced entry points: each applied step
+   roots its own span, so everything the fault triggers (drops, mux
+   restart exports, recovery) hangs off it in [peering_cli trace]. *)
+let apply t fault =
+  Span.with_span
+    ~time:(fun () -> Engine.now t.engine)
+    ~attrs:[ ("target", Plan.target fault); ("fault", Plan.describe fault) ]
+    "fault.inject"
+    (fun () -> apply_fault t fault)
 
 let arm t plan =
   List.iter

@@ -2,6 +2,7 @@ open Peering_net
 open Peering_bgp
 module Metrics = Peering_obs.Metrics
 module Sink = Peering_obs.Sink
+module Span = Peering_obs.Span
 
 let m_announces =
   Metrics.counter ~help:"member announcements processed by the route server"
@@ -84,6 +85,14 @@ let scrub t (r : Route.t) =
 let announce t ~from (route : Route.t) =
   if not (Asn.Set.mem from t.connected) then
     invalid_arg "Route_server.announce: member not connected";
+  (* The route server has no clock of its own; the span leans on the
+     clock Trace.attach installs, and parents itself on whatever span
+     carried the route here (wire UPDATE, mux export). *)
+  Span.with_span "ixp.route_server.fanout"
+    ~attrs:
+      [ ("member", Asn.to_string from);
+        ("prefix", Prefix.to_string route.Route.prefix) ]
+  @@ fun () ->
   Metrics.Counter.inc m_announces;
   let ann = table t.announced (Asn.to_int from) in
   ann := Prefix.Map.add route.Route.prefix route !ann;

@@ -55,6 +55,8 @@ type entry = {
 
 type t = { table : (string * (string * string) list, entry) Hashtbl.t }
 
+type registry = t
+
 let create () = { table = Hashtbl.create 64 }
 let default = create ()
 
@@ -74,7 +76,17 @@ let reset ?(registry = default) () =
     registry.table
 
 let canonical_labels labels =
-  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg
+          (Printf.sprintf "Metrics: duplicate label key %S in label set" a)
+      else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
 
 let kind_name = function
   | C _ -> "counter"
@@ -132,6 +144,39 @@ let histogram ?(registry = default) ?(labels = []) ?(volatile = false)
       in
       (H h, h))
     (function H h -> Some h | C _ | G _ -> None)
+
+module Family = struct
+  (* One metric name shared by many label sets. [get] funnels through
+     the registry's memoised registration, then caches the instrument
+     per canonical label set so steady-state lookups do no
+     registration work; call sites hold the returned instrument, which
+     keeps the increment hot path a single unboxed store. *)
+  type 'a t = {
+    f_get : (string * string) list -> 'a;
+    f_cache : ((string * string) list, 'a) Hashtbl.t;
+  }
+
+  let make f = { f_get = f; f_cache = Hashtbl.create 8 }
+
+  let counter ?registry ?volatile ~help name =
+    make (fun labels -> counter ?registry ~labels ?volatile ~help name)
+
+  let gauge ?registry ?volatile ~help name =
+    make (fun labels -> gauge ?registry ~labels ?volatile ~help name)
+
+  let histogram ?registry ?volatile ?sample_cap ~help name =
+    make (fun labels ->
+        histogram ?registry ~labels ?volatile ?sample_cap ~help name)
+
+  let get fam labels =
+    let labels = canonical_labels labels in
+    match Hashtbl.find_opt fam.f_cache labels with
+    | Some i -> i
+    | None ->
+      let i = fam.f_get labels in
+      Hashtbl.replace fam.f_cache labels i;
+      i
+end
 
 type value =
   | Counter_v of int

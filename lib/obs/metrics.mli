@@ -19,6 +19,10 @@
 type t
 (** A registry. *)
 
+type registry = t
+(** Alias so {!Family} can name the registry type alongside its own
+    [t]. *)
+
 val create : unit -> t
 
 val default : t
@@ -84,7 +88,9 @@ val counter :
   Counter.t
 (** [counter ~help name] finds or creates the counter [name] in
     [registry] (default {!default}). Raises [Invalid_argument] if the
-    name is already registered as a different instrument kind. *)
+    name is already registered as a different instrument kind, or if
+    [labels] repeats a key (a silent duplicate would make {!row_name}
+    ambiguous and snapshots unstable). *)
 
 val gauge :
   ?registry:t ->
@@ -104,6 +110,48 @@ val histogram :
   Histogram.t
 (** [sample_cap] (default 4096) bounds retained samples; see
     {!Histogram.samples}. *)
+
+(** {1 Label-set families}
+
+    A family is one metric name split across many label sets —
+    per-site counters like ["core.server.routes_learned"{site=…}] —
+    behind a label-set → instrument cache. {!Family.get} resolves a
+    label set to its instrument (registering on first sight, memoised
+    thereafter); call sites resolve once per entity and then hold the
+    instrument, so the increment hot path stays the same O(1)
+    allocation-free store as an unlabeled metric. *)
+
+module Family : sig
+  type 'a t
+  (** A named metric family whose members differ only in labels;
+      ['a] is the instrument type. *)
+
+  val counter :
+    ?registry:registry -> ?volatile:bool -> help:string -> string -> Counter.t t
+  (** Declare a counter family. No instrument is registered until
+      {!get} sees a label set, so a family with no members leaves no
+      row in snapshots. *)
+
+  val gauge :
+    ?registry:registry -> ?volatile:bool -> help:string -> string -> Gauge.t t
+  (** Gauge variant of {!counter}. *)
+
+  val histogram :
+    ?registry:registry ->
+    ?volatile:bool ->
+    ?sample_cap:int ->
+    help:string ->
+    string ->
+    Histogram.t t
+  (** Histogram variant of {!counter}; [sample_cap] as in
+      {!histogram}. *)
+
+  val get : 'a t -> (string * string) list -> 'a
+  (** The member for this label set: the same (name, labels) pair
+      always yields the physically same instrument, whichever family
+      value or direct registration call asked first. Raises
+      [Invalid_argument] on duplicate label keys. *)
+end
 
 (** {1 Reading} *)
 

@@ -1,5 +1,10 @@
 let sink :
-    (time:float option -> Event.level -> subsystem:string -> Event.t -> unit)
+    (time:float option ->
+    Event.level ->
+    span:Span.context option ->
+    subsystem:string ->
+    Event.t ->
+    unit)
     option
     ref =
   ref None
@@ -8,7 +13,48 @@ let set f = sink := Some f
 let clear () = sink := None
 let active () = !sink <> None
 
-let emit ?time ?(level = Event.Info) ~subsystem ev =
+let emit ?time ?(level = Event.Info) ?span ~subsystem ev =
   match !sink with
   | None -> ()
-  | Some f -> f ~time level ~subsystem ev
+  | Some f ->
+    let span = match span with Some _ as s -> s | None -> Span.current () in
+    f ~time level ~span ~subsystem ev
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let default_capacity = 65_536
+
+type flight = {
+  mutable capacity : int;
+  buf : Span.completed Queue.t;
+  mutable dropped : int;
+}
+
+let flight = { capacity = default_capacity; buf = Queue.create (); dropped = 0 }
+
+let record_completed sp =
+  if Span.enabled () then begin
+    Queue.push sp flight.buf;
+    if Queue.length flight.buf > flight.capacity then begin
+      ignore (Queue.pop flight.buf);
+      flight.dropped <- flight.dropped + 1
+    end
+  end
+
+let () = Span.set_recorder record_completed
+
+let clear_flight_recorder () =
+  Queue.clear flight.buf;
+  flight.dropped <- 0
+
+let start_flight_recorder ?(capacity = default_capacity) () =
+  flight.capacity <- max 1 capacity;
+  clear_flight_recorder ();
+  Span.set_enabled true
+
+let stop_flight_recorder () = Span.set_enabled false
+
+let flight_spans () = List.of_seq (Queue.to_seq flight.buf)
+let flight_count () = Queue.length flight.buf
+let flight_dropped () = flight.dropped

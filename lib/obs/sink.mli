@@ -1,4 +1,4 @@
-(** The process-wide event sink.
+(** The process-wide event sink and span flight recorder.
 
     Instrumented code calls {!emit} unconditionally; when no sink is
     installed the call is a single load-and-branch, so hot paths pay
@@ -8,10 +8,24 @@
 
     There is deliberately one sink, not a registry of them: the
     simulator is single-threaded and deterministic, and a single
-    process hosts a single testbed run. *)
+    process hosts a single testbed run.
 
-val set : (time:float option -> Event.level -> subsystem:string -> Event.t -> unit) -> unit
-(** Install the sink, replacing any previous one. *)
+    The sink also owns the {e flight recorder}: a bounded buffer of
+    completed {!Span.completed} records with drop accounting, fed by
+    {!Span.finish} while recording is on. Events and spans meet in the
+    consumer ([peering_cli trace]): events carry the span context that
+    caused them, spans carry the interval tree. *)
+
+val set :
+  (time:float option ->
+  Event.level ->
+  span:Span.context option ->
+  subsystem:string ->
+  Event.t ->
+  unit) ->
+  unit
+(** Install the sink, replacing any previous one. The sink receives
+    the causal span context the event was emitted under, if any. *)
 
 val clear : unit -> unit
 (** Remove the sink; subsequent {!emit} calls are no-ops. *)
@@ -20,7 +34,42 @@ val active : unit -> bool
 (** Whether a sink is installed. Hot paths that must build an event
     payload guard on this to skip the allocation entirely. *)
 
-val emit : ?time:float -> ?level:Event.level -> subsystem:string -> Event.t -> unit
+val emit :
+  ?time:float ->
+  ?level:Event.level ->
+  ?span:Span.context ->
+  subsystem:string ->
+  Event.t ->
+  unit
 (** Report an event. [time] is the virtual timestamp when the caller
     knows it (e.g. the safety layer's [~now]); otherwise the sink
-    falls back to its own clock. [level] defaults to [Info]. *)
+    falls back to its own clock. [level] defaults to [Info]. [span]
+    defaults to the ambient {!Span.current} context, so instrumented
+    code stamped by a causal trace needs no changes at all. *)
+
+(** {1 Flight recorder} *)
+
+val start_flight_recorder : ?capacity:int -> unit -> unit
+(** Begin collecting completed spans: clears the buffer, zeroes the
+    drop counter, and turns {!Span.enabled} on. [capacity] (default
+    65536) bounds retained spans; beyond it the {e oldest} completed
+    span is discarded and accounted in {!flight_dropped}. *)
+
+val stop_flight_recorder : unit -> unit
+(** Stop collecting (turns {!Span.enabled} off). Retained spans stay
+    readable until the next {!start_flight_recorder} or
+    {!clear_flight_recorder}. *)
+
+val flight_spans : unit -> Span.completed list
+(** Retained completed spans, in completion order. *)
+
+val flight_count : unit -> int
+(** Number of retained completed spans. *)
+
+val flight_dropped : unit -> int
+(** Completed spans discarded because the capacity bound was hit. The
+    total ever recorded is [flight_count () + flight_dropped ()]. *)
+
+val clear_flight_recorder : unit -> unit
+(** Drop all retained spans and zero the drop counter without changing
+    whether recording is on. *)

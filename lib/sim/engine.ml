@@ -1,4 +1,5 @@
 module Metrics = Peering_obs.Metrics
+module Span = Peering_obs.Span
 
 (* Process-wide instrumentation (all engines share these; a test that
    wants per-run numbers resets the default registry first). The
@@ -35,14 +36,25 @@ let note_scheduled t =
   Metrics.Counter.inc m_scheduled;
   Metrics.Gauge.set m_queue (float_of_int (Event_queue.length t.queue))
 
+(* Causal tracing across virtual time: a callback runs under the span
+   context that was ambient when it was scheduled, so a wire delivery
+   or tunnel hop stays attached to the announcement that caused it.
+   When tracing is off this is a single load-and-branch. *)
+let capture_span f =
+  if Span.enabled () then
+    match Span.current () with
+    | None -> f
+    | Some _ as ctx -> fun () -> Span.with_current ctx f
+  else f
+
 let schedule_at t ~time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.push t.queue ~time f;
+  Event_queue.push t.queue ~time (capture_span f);
   note_scheduled t
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Event_queue.push t.queue ~time:(t.clock +. delay) f;
+  Event_queue.push t.queue ~time:(t.clock +. delay) (capture_span f);
   note_scheduled t
 
 let pending t = Event_queue.length t.queue

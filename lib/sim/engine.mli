@@ -18,7 +18,9 @@ val rng : t -> Rng.t
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
-    non-negative. *)
+    non-negative. While causal tracing is on ({!Peering_obs.Span}),
+    the ambient span context at the call is captured and restored
+    around [f], so causality survives the trip through the queue. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** Absolute-time variant. The time must not be in the past. *)

@@ -7,6 +7,7 @@ type event = {
   time : float;
   level : level;
   subsystem : string;
+  span : Peering_obs.Span.context option;
   ev : Event.t;
 }
 
@@ -19,8 +20,8 @@ type t = {
 let create ?(capacity = 100_000) () =
   { capacity; buf = Queue.create (); dropped = 0 }
 
-let record_ev t ~time ~level ~subsystem ev =
-  Queue.push { time; level; subsystem; ev } t.buf;
+let record_ev t ?span ~time ~level ~subsystem ev =
+  Queue.push { time; level; subsystem; span; ev } t.buf;
   if Queue.length t.buf > t.capacity then begin
     ignore (Queue.pop t.buf);
     t.dropped <- t.dropped + 1
@@ -30,9 +31,10 @@ let record t ~time ~level ~subsystem message =
   record_ev t ~time ~level ~subsystem (Event.Ad_hoc message)
 
 let attach t ~clock =
-  Sink.set (fun ~time level ~subsystem ev ->
+  Peering_obs.Span.set_clock clock;
+  Sink.set (fun ~time level ~span ~subsystem ev ->
       let time = Option.value time ~default:(clock ()) in
-      record_ev t ~time ~level ~subsystem ev)
+      record_ev t ?span ~time ~level ~subsystem ev)
 
 let detach () = Sink.clear ()
 

@@ -15,6 +15,10 @@ type event = {
   time : float;  (** virtual time of the occurrence *)
   level : level;
   subsystem : string;
+  span : Peering_obs.Span.context option;
+      (** the causal span the event was emitted under, when a trace
+          was being collected — what lets [peering_cli trace] hang a
+          flat event stream off its span tree *)
   ev : Peering_obs.Event.t;
 }
 (** One recorded occurrence; render with {!message} or {!pp_event}. *)
@@ -27,8 +31,14 @@ val create : ?capacity:int -> unit -> t
     events are dropped beyond it and accounted in {!dropped}. *)
 
 val record_ev :
-  t -> time:float -> level:level -> subsystem:string -> Peering_obs.Event.t -> unit
-(** Append a typed event. *)
+  t ->
+  ?span:Peering_obs.Span.context ->
+  time:float ->
+  level:level ->
+  subsystem:string ->
+  Peering_obs.Event.t ->
+  unit
+(** Append a typed event, optionally stamped with its causal span. *)
 
 val record : t -> time:float -> level:level -> subsystem:string -> string -> unit
 (** The string fallback: [record t … msg] is
@@ -38,8 +48,10 @@ val attach : t -> clock:(unit -> float) -> unit
 (** Install this buffer as the process-wide {!Peering_obs.Sink}, so
     instrumented subsystems that only call [Peering_obs.Sink.emit]
     land here. Events emitted without an explicit time are stamped
-    with [clock ()] (normally the engine's virtual clock). Replaces
-    any previously attached buffer. *)
+    with [clock ()] (normally the engine's virtual clock), and the
+    same clock is handed to {!Peering_obs.Span.set_clock} so spans
+    opened by clock-less subsystems share it. Replaces any previously
+    attached buffer. *)
 
 val detach : unit -> unit
 (** Clear the process-wide sink (whether or not it was this buffer). *)

@@ -2,6 +2,7 @@
    the typed event sink, and end-to-end snapshot determinism. *)
 
 open Peering_obs
+module Engine = Peering_sim.Engine
 module Trace = Peering_sim.Trace
 module Obs_report = Peering_measure.Obs_report
 open Peering_core
@@ -146,6 +147,213 @@ let test_metrics_reset_and_snapshot () =
     (Metrics.counter_value ~registry:r "no.such.metric")
 
 (* ------------------------------------------------------------------ *)
+(* Labeled metrics: duplicate keys, the label-set family cache, and
+   the hot-path cost of an increment *)
+
+let test_duplicate_label_keys () =
+  let r = Metrics.create () in
+  Alcotest.check_raises "adjacent duplicates rejected"
+    (Invalid_argument "Metrics: duplicate label key \"site\" in label set")
+    (fun () ->
+      ignore
+        (Metrics.counter ~registry:r
+           ~labels:[ ("site", "ams"); ("site", "gru") ]
+           ~help:"dup" "dup.count"));
+  (* Detection happens after canonical sorting, so non-adjacent
+     duplicates are caught too. *)
+  Alcotest.check_raises "non-adjacent duplicates rejected"
+    (Invalid_argument "Metrics: duplicate label key \"a\" in label set")
+    (fun () ->
+      ignore
+        (Metrics.counter ~registry:r
+           ~labels:[ ("a", "1"); ("b", "2"); ("a", "3") ]
+           ~help:"dup" "dup2.count"))
+
+let test_family_cache () =
+  let r = Metrics.create () in
+  let fam = Metrics.Family.counter ~registry:r ~help:"f" "fam.count" in
+  let a = Metrics.Family.get fam [ ("site", "ams"); ("kind", "x") ] in
+  let b = Metrics.Family.get fam [ ("kind", "x"); ("site", "ams") ] in
+  check Alcotest.bool "same label set, same instrument" true (a == b);
+  let c = Metrics.Family.get fam [ ("site", "gru"); ("kind", "x") ] in
+  check Alcotest.bool "distinct label set, distinct instrument" true
+    (not (a == c));
+  Metrics.Counter.inc a;
+  Metrics.Counter.add b 2;
+  check Alcotest.int "both handles hit one counter" 3
+    (Metrics.counter_value ~registry:r
+       ~labels:[ ("kind", "x"); ("site", "ams") ]
+       "fam.count")
+
+let test_family_hot_path_allocation () =
+  let r = Metrics.create () in
+  let fam = Metrics.Family.counter ~registry:r ~help:"f" "hot.count" in
+  let c = Metrics.Family.get fam [ ("site", "ams") ] in
+  for _ = 1 to 100 do
+    Metrics.Counter.inc c
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Metrics.Counter.inc c
+  done;
+  let after = Gc.minor_words () in
+  (* Gc.minor_words itself boxes its float result, so allow a few
+     words of slack — far below one word per increment. *)
+  check Alcotest.bool "increment hot path is allocation-free" true
+    (after -. before < 64.0);
+  check Alcotest.int "increments landed" 10_100
+    (Metrics.counter_value ~registry:r ~labels:[ ("site", "ams") ] "hot.count")
+
+(* ------------------------------------------------------------------ *)
+(* Causal spans: contexts, the flight recorder, ambient stamping,
+   propagation across the engine's event queue *)
+
+let test_span_contexts () =
+  Span.reset ();
+  Sink.start_flight_recorder ();
+  let root = Span.start ~time:0.0 "root" in
+  let child =
+    Span.with_current
+      (Some (Span.context root))
+      (fun () -> Span.start ~time:0.5 "child")
+  in
+  let rc = Span.context root and cc = Span.context child in
+  check Alcotest.int "a root starts its own trace" rc.Span.trace rc.Span.span;
+  check Alcotest.(option int) "root has no parent" None rc.Span.parent;
+  check Alcotest.int "child inherits the trace" rc.Span.trace cc.Span.trace;
+  check Alcotest.(option int) "child parented on ambient"
+    (Some rc.Span.span) cc.Span.parent;
+  Span.finish child ~time:1.0;
+  Span.finish root ~time:2.0 ~attrs:[ ("done", "yes") ];
+  (match Sink.flight_spans () with
+  | [ c; r ] ->
+    check Alcotest.string "finish order" "child" c.Span.name;
+    check Alcotest.string "root finished last" "root" r.Span.name;
+    check Alcotest.(float 1e-9) "duration recorded" 2.0 r.Span.ended;
+    check Alcotest.bool "finish-time attrs merged" true
+      (List.mem_assoc "done" r.Span.attrs)
+  | _ -> Alcotest.fail "flight recorder shape");
+  Sink.stop_flight_recorder ();
+  Sink.clear_flight_recorder ()
+
+let test_flight_recorder_drops () =
+  Span.reset ();
+  Sink.start_flight_recorder ~capacity:2 ();
+  List.iter
+    (fun name ->
+      let sp = Span.start ~time:0.0 name in
+      Span.finish sp ~time:1.0;
+      (* finishing again is a no-op, not a duplicate record *)
+      Span.finish sp ~time:9.0)
+    [ "a"; "b"; "c" ];
+  check Alcotest.int "capacity bound holds" 2 (Sink.flight_count ());
+  check Alcotest.int "drop accounted" 1 (Sink.flight_dropped ());
+  (match Sink.flight_spans () with
+  | [ b; c ] ->
+    check Alcotest.string "oldest dropped" "b" b.Span.name;
+    check Alcotest.string "newest kept" "c" c.Span.name;
+    check Alcotest.(float 1e-9) "idempotent finish kept first end time" 1.0
+      c.Span.ended
+  | _ -> Alcotest.fail "flight recorder shape");
+  Sink.stop_flight_recorder ();
+  Sink.clear_flight_recorder ()
+
+let test_emit_ambient_stamp () =
+  Span.reset ();
+  Span.set_enabled true;
+  let tr = Trace.create () in
+  Trace.attach tr ~clock:(fun () -> 0.0);
+  let sp = Span.start ~time:0.0 "ambient" in
+  Span.with_current
+    (Some (Span.context sp))
+    (fun () -> Sink.emit ~subsystem:"t" (Event.Ad_hoc "stamped"));
+  Sink.emit ~subsystem:"t" (Event.Ad_hoc "unstamped");
+  Span.finish sp ~time:1.0;
+  Trace.detach ();
+  Span.set_enabled false;
+  match Trace.events tr with
+  | [ a; b ] ->
+    (match a.Trace.span with
+    | Some c ->
+      check Alcotest.int "stamped with the ambient span"
+        (Span.context sp).Span.span c.Span.span
+    | None -> Alcotest.fail "event missing its span stamp");
+    check Alcotest.bool "no ambient, no stamp" true (b.Trace.span = None)
+  | _ -> Alcotest.fail "event shape"
+
+let test_engine_span_capture () =
+  Span.reset ();
+  Span.set_enabled true;
+  let engine = Engine.create () in
+  let seen = ref None in
+  let sp = Span.start ~time:0.0 "cause" in
+  Span.with_current
+    (Some (Span.context sp))
+    (fun () ->
+      Engine.schedule engine ~delay:1.0 (fun () -> seen := Span.current ()));
+  Span.finish sp ~time:0.0;
+  Engine.schedule engine ~delay:2.0 (fun () -> ());
+  Engine.run_for engine 5.0;
+  Span.set_enabled false;
+  match !seen with
+  | Some c ->
+    check Alcotest.int "callback ran under the scheduling span"
+      (Span.context sp).Span.span c.Span.span
+  | None -> Alcotest.fail "span context not carried across the event queue"
+
+(* Two identically seeded runs must mint identical span trees — ids,
+   names, parents, times and attributes. *)
+let span_fingerprint () =
+  Metrics.reset ();
+  Span.reset ();
+  Sink.start_flight_recorder ();
+  let params =
+    { Testbed.default_params with
+      Testbed.world =
+        { Peering_topo.Gen.default_params with
+          Peering_topo.Gen.n_stub = 900;
+          n_small_transit = 80;
+          target_prefixes = 4000
+        };
+      university_sites = [ ("gatech01", 2) ]
+    }
+  in
+  let t = Testbed.build ~params () in
+  let experiment =
+    match Testbed.new_experiment t ~id:"det" ~owner:"test" () with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  let client = Client.create ~id:"det-client" ~experiment () in
+  Testbed.connect_client t client ~sites:[ "amsterdam01" ];
+  let prefix = List.hd experiment.Experiment.prefixes in
+  ignore (Client.announce client prefix);
+  Client.withdraw client prefix;
+  Sink.stop_flight_recorder ();
+  let fp =
+    String.concat "\n"
+      (List.map
+         (fun (sp : Span.completed) ->
+           Printf.sprintf "%d/%d/%s %s [%g,%g] %s" sp.Span.ctx.Span.trace
+             sp.Span.ctx.Span.span
+             (match sp.Span.ctx.Span.parent with
+             | None -> "-"
+             | Some p -> string_of_int p)
+             sp.Span.name sp.Span.started sp.Span.ended
+             (String.concat ","
+                (List.map (fun (k, v) -> k ^ "=" ^ v) sp.Span.attrs)))
+         (Sink.flight_spans ()))
+  in
+  Sink.clear_flight_recorder ();
+  fp
+
+let test_span_tree_determinism () =
+  let a = span_fingerprint () in
+  let b = span_fingerprint () in
+  check Alcotest.string "identical span trees" a b;
+  check Alcotest.bool "non-trivial" true (String.length a > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Events through the sink into a trace *)
 
 let test_sink_trace () =
@@ -254,7 +462,17 @@ let () =
       ( "metrics",
         [ tc "basics" `Quick test_metrics_basics;
           tc "histogram cap" `Quick test_metrics_histogram_cap;
-          tc "reset and snapshot" `Quick test_metrics_reset_and_snapshot
+          tc "reset and snapshot" `Quick test_metrics_reset_and_snapshot;
+          tc "duplicate label keys" `Quick test_duplicate_label_keys;
+          tc "family cache" `Quick test_family_cache;
+          tc "hot-path allocation" `Quick test_family_hot_path_allocation
+        ] );
+      ( "spans",
+        [ tc "contexts" `Quick test_span_contexts;
+          tc "flight recorder drops" `Quick test_flight_recorder_drops;
+          tc "ambient stamping" `Quick test_emit_ambient_stamp;
+          tc "engine capture" `Quick test_engine_span_capture;
+          tc "tree determinism" `Slow test_span_tree_determinism
         ] );
       ("events", [ tc "sink to trace" `Quick test_sink_trace ]);
       ( "report",
