@@ -189,13 +189,67 @@ let config_cmd =
   Cmd.v (Cmd.info "config" ~doc:"Parse and check a router configuration")
     Term.(const run $ file_arg)
 
+(* Shared by [check --json] and [verify --json]: one diagnostic as a
+   JSON object with a fixed key set, [null] standing in for missing
+   fields, streamed through the canonical writer so two runs over the
+   same inputs are byte-identical. *)
+let diag_json d =
+  let module Json = Peering_obs.Json in
+  let module Diagnostic = Peering_check.Diagnostic in
+  let opt_str = function None -> Json.Null | Some s -> Json.String s in
+  let opt_int = function None -> Json.Null | Some n -> Json.Int n in
+  Json.Obj
+    [ ("file", opt_str d.Diagnostic.file);
+      ("line", opt_int d.Diagnostic.line);
+      ( "severity",
+        Json.String (Diagnostic.severity_to_string d.Diagnostic.severity) );
+      ("code", Json.String d.Diagnostic.code);
+      ("message", Json.String d.Diagnostic.message);
+      ("hint", opt_str d.Diagnostic.hint)
+    ]
+
+let stream_report ~schema ~extra diags =
+  let module Json = Peering_obs.Json in
+  let module Diagnostic = Peering_check.Diagnostic in
+  let w = Json.Writer.to_channel ~indent:2 stdout in
+  Json.Writer.begin_obj w;
+  Json.Writer.key w "schema";
+  Json.Writer.value w (Json.String schema);
+  List.iter
+    (fun (k, v) ->
+      Json.Writer.key w k;
+      Json.Writer.value w v)
+    extra;
+  Json.Writer.key w "diagnostics";
+  Json.Writer.begin_arr w;
+  List.iter (fun d -> Json.Writer.value w (diag_json d)) diags;
+  Json.Writer.end_arr w;
+  Json.Writer.key w "summary";
+  Json.Writer.value w
+    (Json.Obj
+       [ ("errors", Json.Int (Diagnostic.count Diagnostic.Error diags));
+         ("warnings", Json.Int (Diagnostic.count Diagnostic.Warning diags));
+         ("infos", Json.Int (Diagnostic.count Diagnostic.Info diags))
+       ]);
+  Json.Writer.end_obj w;
+  Json.Writer.close w;
+  print_newline ()
+
+let read_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
 let check_cmd =
   let files_arg =
     let doc =
       "Files to analyze. Files ending in .exp are parsed as experiment \
        specs; everything else as Quagga-style router configurations. \
        Configurations are also checked against each other (session \
-       consistency)."
+       consistency), and specs against each other (prefix overlap, ASN \
+       collisions, cross-experiment poisoning)."
     in
     Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
   in
@@ -203,16 +257,17 @@ let check_cmd =
     let doc = "List the diagnostic codes and exit." in
     Arg.(value & flag & info [ "codes" ] ~doc)
   in
-  let read file =
-    let ic = open_in file in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
-    text
+  let json_arg =
+    let doc =
+      "Emit the report as a JSON document (byte-identical across runs \
+       over the same inputs)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
   in
   let module Check = Peering_check.Check in
   let module Diagnostic = Peering_check.Diagnostic in
-  let run codes files =
+  let module Json = Peering_obs.Json in
+  let run codes json files =
     if codes then begin
       List.iter
         (fun (code, sev, about) ->
@@ -230,10 +285,10 @@ let check_cmd =
     let configs = ref [] and specs = ref [] in
     List.iter
       (fun file ->
-        let text = read file in
+        let text = read_file file in
         if Filename.check_suffix file ".exp" then
           match Peering_check.Spec.parse text with
-          | Ok s -> specs := (file, s) :: !specs
+          | Ok s -> specs := (Some file, s) :: !specs
           | Error e ->
             parse_failures :=
               Diagnostic.error ~file ~code:"PARSE" e :: !parse_failures
@@ -247,21 +302,25 @@ let check_cmd =
     let diags =
       List.rev !parse_failures
       @ Check.check_configs (List.rev !configs)
-      @ List.concat_map
-          (fun (file, s) -> Check.check_spec ~file s)
-          (List.rev !specs)
+      @ Check.check_specs (List.rev !specs)
     in
     let diags = Diagnostic.sort diags in
-    List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
     let errors = Diagnostic.count Diagnostic.Error diags in
-    let warnings = Diagnostic.count Diagnostic.Warning diags in
-    Printf.printf "%d file%s checked: %d error%s, %d warning%s\n"
-      (List.length files)
-      (if List.length files = 1 then "" else "s")
-      errors
-      (if errors = 1 then "" else "s")
-      warnings
-      (if warnings = 1 then "" else "s");
+    if json then
+      stream_report ~schema:"peering-check/1"
+        ~extra:[ ("files", Json.Int (List.length files)) ]
+        diags
+    else begin
+      List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+      let warnings = Diagnostic.count Diagnostic.Warning diags in
+      Printf.printf "%d file%s checked: %d error%s, %d warning%s\n"
+        (List.length files)
+        (if List.length files = 1 then "" else "s")
+        errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+    end;
     exit (if errors > 0 then 1 else 0)
   in
   Cmd.v
@@ -269,7 +328,104 @@ let check_cmd =
        ~doc:
          "Statically analyze router configurations and experiment specs \
           (rcc-style); exit 1 if any error-severity diagnostic fires")
-    Term.(const run $ codes_arg $ files_arg)
+    Term.(const run $ codes_arg $ json_arg $ files_arg)
+
+let verify_cmd =
+  let files_arg =
+    let doc =
+      "Exactly one .world topology file plus any number of .exp \
+       experiment specs to verify against it."
+    in
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the report as a JSON document (byte-identical across runs \
+       over the same inputs)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let module Check = Peering_check.Check in
+  let module World = Peering_check.World in
+  let module Diagnostic = Peering_check.Diagnostic in
+  let module Json = Peering_obs.Json in
+  let module As_graph = Peering_topo.As_graph in
+  let run json files =
+    let worlds, exps =
+      List.partition (fun f -> Filename.check_suffix f ".world") files
+    in
+    let world_file =
+      match worlds with
+      | [ f ] -> f
+      | [] ->
+        prerr_endline "verify: expected a .world file";
+        exit 2
+      | _ ->
+        prerr_endline "verify: expected exactly one .world file";
+        exit 2
+    in
+    let bad = List.filter (fun f -> not (Filename.check_suffix f ".exp")) exps in
+    if bad <> [] then begin
+      Printf.eprintf "verify: not a .world or .exp file: %s\n"
+        (String.concat ", " bad);
+      exit 2
+    end;
+    let w =
+      match World.parse (read_file world_file) with
+      | Ok w -> w
+      | Error e ->
+        Printf.eprintf "%s: %s\n" world_file e;
+        exit 2
+    in
+    let spec_failures = ref [] in
+    List.iter
+      (fun file ->
+        match Peering_check.Spec.parse (read_file file) with
+        | Ok s -> World.add_spec ~file w s
+        | Error e ->
+          spec_failures :=
+            Diagnostic.error ~file ~code:"PARSE" e :: !spec_failures)
+      exps;
+    let diags =
+      Diagnostic.sort (List.rev !spec_failures @ Check.check_world w)
+    in
+    let g = World.graph w in
+    let errors = Diagnostic.count Diagnostic.Error diags in
+    if json then
+      stream_report ~schema:"peering-verify/1"
+        ~extra:
+          [ ("world", Json.String world_file);
+            ( "shape",
+              Json.Obj
+                [ ("ases", Json.Int (As_graph.n_ases g));
+                  ("edges", Json.Int (As_graph.n_edges g));
+                  ("prefixes", Json.Int (As_graph.n_prefixes g));
+                  ("specs", Json.Int (List.length (World.specs w)))
+                ] )
+          ]
+        diags
+    else begin
+      Printf.printf "world %s: %d ASes, %d edges, %d prefixes, %d specs\n"
+        world_file (As_graph.n_ases g) (As_graph.n_edges g)
+        (As_graph.n_prefixes g)
+        (List.length (World.specs w));
+      List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+      let warnings = Diagnostic.count Diagnostic.Warning diags in
+      Printf.printf "%d error%s, %d warning%s\n" errors
+        (if errors = 1 then "" else "s")
+        warnings
+        (if warnings = 1 then "" else "s")
+    end;
+    exit (if errors > 0 then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Semantically verify a .world topology (static leak \
+          reachability, Gao-Rexford stability, structural checks) and \
+          any experiment specs against it; exit 1 if any error-severity \
+          diagnostic fires")
+    Term.(const run $ json_arg $ files_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The seeded end-to-end scenario behind [stats] and [trace]: an
@@ -291,11 +447,31 @@ module Scenario = struct
   module Fib = Peering_dataplane.Fib
   module Packet = Peering_dataplane.Packet
 
+  (* A four-AS world with one injected leak, so the [stats] snapshot
+     also exercises the static verifier's check.* metrics. *)
+  let verified_world () =
+    let w =
+      Peering_check.World.parse_exn
+        "as 10 tier1\n\
+         as 20 small-transit\n\
+         as 30 small-transit\n\
+         as 40 stub\n\
+         edge 20 provider 10\n\
+         edge 30 provider 10\n\
+         edge 20 peer 30\n\
+         edge 40 provider 20\n\
+         originate 30 198.51.100.0/24\n\
+         originate 40 203.0.113.0/24\n\
+         leak 20 10\n"
+    in
+    ignore (Peering_check.Check.check_world w)
+
   let run ?(record_spans = false) ~seed ~domains () =
     Metrics.reset ();
     Span.reset ();
     if record_spans then Sink.start_flight_recorder ()
     else Sink.stop_flight_recorder ();
+    verified_world ();
     let trace = Trace.create () in
     (* Scenario 1: the quickstart experiment — controller, safety
        filter (one accepted announce, one blocked hijack, one
@@ -722,5 +898,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
-            config_cmd; check_cmd; portal_cmd; stats_cmd; trace_cmd;
-            chaos_cmd ]))
+            config_cmd; check_cmd; verify_cmd; portal_cmd; stats_cmd;
+            trace_cmd; chaos_cmd ]))

@@ -7,6 +7,10 @@ let cross_config_registry : (string option * Config.t) list Registry.t =
 
 let policy_registry : Policy_checks.input Registry.t = Registry.create ()
 let spec_registry : Spec.t Registry.t = Registry.create ()
+let world_registry : World.t Registry.t = Registry.create ()
+
+let cross_spec_registry : (string option * Spec.t) list Registry.t =
+  Registry.create ()
 
 let () =
   let r = Registry.register config_registry in
@@ -48,7 +52,26 @@ let () =
   s ~name:"poison" ~about:"path suffixes respect poisoning approval"
     (fun spec -> Experiment_checks.poisonings spec);
   s ~name:"dampen" ~about:"the schedule does not trip RFC 2439 dampening"
-    (fun spec -> Experiment_checks.dampening spec)
+    (fun spec -> Experiment_checks.dampening spec);
+  let w = Registry.register world_registry in
+  w ~name:"graph-partition" ~about:"the topology is connected"
+    Graph_checks.partition;
+  w ~name:"graph-relcycle" ~about:"customer-provider relations are acyclic"
+    Graph_checks.provider_cycle;
+  w ~name:"graph-moas" ~about:"each prefix has a single origin"
+    Graph_checks.moas;
+  w ~name:"leak-edges" ~about:"no export may violate Gao-Rexford discipline"
+    Leak_analysis.edges;
+  w ~name:"leak-reach"
+    ~about:"blast radius of each leak-prone edge (abstract fixpoint)"
+    Leak_analysis.reach;
+  w ~name:"stab-pref" ~about:"customer routes are strictly preferred"
+    Stability.prefer_non_customer;
+  w ~name:"stab-wheel" ~about:"no dispute wheel among risky sessions"
+    Stability.wheels;
+  Registry.register cross_spec_registry ~name:"conflicts"
+    ~about:"concurrent experiments do not collide"
+    Graph_checks.spec_conflicts
 
 let stamp file diags =
   match file with
@@ -77,6 +100,25 @@ let check_spec ?file spec =
 
 let check_experiment experiment events =
   check_spec (Spec.of_experiment experiment events)
+
+let check_specs specs =
+  let per =
+    List.concat_map
+      (fun (file, spec) -> stamp file (Registry.run spec_registry spec))
+      specs
+  in
+  Diagnostic.sort (per @ Registry.run cross_spec_registry specs)
+
+let check_world w =
+  let topo = Registry.run world_registry w in
+  let specs = World.specs w in
+  let per_spec =
+    List.concat_map
+      (fun (file, spec) -> stamp file (Registry.run spec_registry spec))
+      specs
+  in
+  let cross = Registry.run cross_spec_registry specs in
+  Diagnostic.sort (topo @ per_spec @ cross)
 
 let codes =
   [ ("RTR-NOBGP", Diagnostic.Error, "no router bgp block");
@@ -121,5 +163,31 @@ let codes =
     ( "EXP-DAMPEN",
       Diagnostic.Error,
       "schedule would trip RFC 2439 route-flap dampening" );
+    ( "GRAPH-PARTITION",
+      Diagnostic.Warning,
+      "topology splits into several connected components" );
+    ( "GRAPH-RELCYCLE",
+      Diagnostic.Error,
+      "cycle in the customer-provider relationship digraph" );
+    ("GRAPH-MOAS", Diagnostic.Warning, "prefix originated by several ASes");
+    ( "LEAK-EDGE",
+      Diagnostic.Error,
+      "edge may export beyond Gao-Rexford discipline (route leak)" );
+    ( "LEAK-REACH",
+      Diagnostic.Warning,
+      "blast radius of a leak-prone edge (static fixpoint)" );
+    ( "STAB-PREF",
+      Diagnostic.Warning,
+      "non-customer session imported at or above customer local-pref" );
+    ( "STAB-WHEEL",
+      Diagnostic.Error,
+      "dispute wheel: cycle of prefer-non-customer sessions" );
+    ( "XEXP-OVERLAP",
+      Diagnostic.Error,
+      "two experiments' prefixes overlap" );
+    ("XEXP-ASN", Diagnostic.Error, "two experiments share an origin ASN");
+    ( "XEXP-POISON",
+      Diagnostic.Warning,
+      "experiment poisons an ASN allocated to another experiment" );
     ("PARSE", Diagnostic.Error, "file failed to parse")
   ]

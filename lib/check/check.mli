@@ -22,6 +22,15 @@ val cross_config_registry : (string option * Config.t) list Registry.t
 val policy_registry : Policy_checks.input Registry.t
 val spec_registry : Spec.t Registry.t
 
+val world_registry : World.t Registry.t
+(** Whole-world semantic passes: topology structure
+    ({!Graph_checks}), static leak analysis ({!Leak_analysis}) and
+    stability ({!Stability}). *)
+
+val cross_spec_registry : (string option * Spec.t) list Registry.t
+(** Passes over a batch of experiment specs
+    ({!Graph_checks.spec_conflicts}). *)
+
 val check_config : ?file:string -> Config.t -> Diagnostic.t list
 (** Run every per-config pass. [file] is stamped onto the
     diagnostics. *)
@@ -38,6 +47,17 @@ val check_spec : ?file:string -> Spec.t -> Diagnostic.t list
 val check_experiment :
   Peering_core.Experiment.t -> Spec.event list -> Diagnostic.t list
 (** Vet a programmatic experiment plus its planned schedule. *)
+
+val check_specs : (string option * Spec.t) list -> Diagnostic.t list
+(** Per-spec passes on each input plus cross-spec conflict passes
+    (prefix overlap, ASN collisions, cross-experiment poisoning) over
+    the whole batch. *)
+
+val check_world : World.t -> Diagnostic.t list
+(** The semantic verifier: every world pass (topology structure,
+    static leak reachability, stability) plus per-spec and cross-spec
+    passes over the world's attached specs. Diagnostics are sorted
+    with {!Diagnostic.sort}. *)
 
 val codes : (string * Diagnostic.severity * string) list
 (** The diagnostic catalog: code, default severity, one-line

@@ -6,14 +6,21 @@ let c_unsat = "POLICY-UNSAT"
 let c_dead = "POLICY-DEAD"
 let c_leak = "POLICY-LEAK"
 
+let codes = [ c_unsat; c_dead; c_leak ]
+
+type af = V4 | V6
+
+let max_prefix_len = function V4 -> 32 | V6 -> 128
+
 type input = {
   pol_name : string option;
   pol_relationship : Relationship.t option;
+  pol_af : af;
   policy : Policy.t;
 }
 
-let input ?name ?relationship policy =
-  { pol_name = name; pol_relationship = relationship; policy }
+let input ?name ?relationship ?(af = V4) policy =
+  { pol_name = name; pol_relationship = relationship; pol_af = af; policy }
 
 let label i =
   match i.pol_name with None -> "policy" | Some n -> "policy " ^ n
@@ -21,47 +28,49 @@ let label i =
 (* ------------------------------------------------------------------ *)
 (* Satisfiability. All verdicts are conservative: [triple_window]
    under-approximates nothing; [cond_unsat c = true] implies no route
-   satisfies [c]; [cond_taut c = true] implies every route does. *)
+   satisfies [c]; [cond_taut c = true] implies every route does. The
+   address family decides the maximum route-prefix length a ge/le
+   window is clamped to (32 for IPv4, 128 for MP-BGP IPv6). *)
 
 (* The set of route-prefix lengths a (p, ge, le) triple can match. *)
-let triple_window (p, ge, le) =
-  (max ge (Prefix.len p), min le 32)
+let window af (p, ge, le) =
+  (max ge (Prefix.len p), min le (max_prefix_len af))
 
-let triple_empty t =
-  let lo, hi = triple_window t in
+let empty_triple af t =
+  let lo, hi = window af t in
   lo > hi
 
 (* Can triples from two Prefix_in conditions match a common route? *)
-let triples_compatible ((p1, _, _) as t1) ((p2, _, _) as t2) =
-  let lo1, hi1 = triple_window t1 and lo2, hi2 = triple_window t2 in
+let compatible_triples af ((p1, _, _) as t1) ((p2, _, _) as t2) =
+  let lo1, hi1 = window af t1 and lo2, hi2 = window af t2 in
   Prefix.overlaps p1 p2 && max lo1 lo2 <= min hi1 hi2
 
-let exact_in_triple p ((q, _, _) as t) =
-  let lo, hi = triple_window t in
+let exact_in af p ((q, _, _) as t) =
+  let lo, hi = window af t in
   Prefix.subsumes q p && Prefix.len p >= lo && Prefix.len p <= hi
 
-let rec cond_unsat (c : Policy.cond) =
+let rec unsat af (c : Policy.cond) =
   match c with
-  | Policy.Prefix_in l -> List.for_all triple_empty l
+  | Policy.Prefix_in l -> List.for_all (empty_triple af) l
   | Policy.Prefix_exact [] -> true
-  | Policy.Any cs -> List.for_all cond_unsat cs
-  | Policy.All cs -> List.exists cond_unsat cs || contradiction cs
-  | Policy.Not c -> cond_taut c
+  | Policy.Any cs -> List.for_all (unsat af) cs
+  | Policy.All cs -> List.exists (unsat af) cs || contradiction af cs
+  | Policy.Not c -> taut af c
   | Policy.Prefix_exact _ | Policy.Path_contains _ | Policy.Originated_by _
   | Policy.Neighbor_is _ | Policy.Has_community _ | Policy.Path_length_le _
   | Policy.Has_private_asn ->
     false
 
-and cond_taut (c : Policy.cond) =
+and taut af (c : Policy.cond) =
   match c with
-  | Policy.All cs -> List.for_all cond_taut cs
-  | Policy.Any cs -> List.exists cond_taut cs
-  | Policy.Not c -> cond_unsat c
+  | Policy.All cs -> List.for_all (taut af) cs
+  | Policy.Any cs -> List.exists (taut af) cs
+  | Policy.Not c -> unsat af c
   | Policy.Prefix_in l ->
     List.exists
       (fun ((p, _, _) as t) ->
-        let lo, hi = triple_window t in
-        Prefix.len p = 0 && lo = 0 && hi = 32)
+        let lo, hi = window af t in
+        Prefix.len p = 0 && lo = 0 && hi = max_prefix_len af)
       l
   | Policy.Path_length_le _ | Policy.Prefix_exact _ | Policy.Path_contains _
   | Policy.Originated_by _ | Policy.Neighbor_is _ | Policy.Has_community _
@@ -70,7 +79,7 @@ and cond_taut (c : Policy.cond) =
 
 (* A conjunction is contradictory if it contains [c] and [Not c]
    structurally, or two prefix constraints with disjoint route sets. *)
-and contradiction cs =
+and contradiction af cs =
   let rec flatten acc = function
     | Policy.All cs' :: rest -> flatten (flatten acc cs') rest
     | c :: rest -> flatten (c :: acc) rest
@@ -100,9 +109,11 @@ and contradiction cs =
     match (a, b) with
     | `In l1, `In l2 ->
       not
-        (List.exists (fun t1 -> List.exists (triples_compatible t1) l2) l1)
+        (List.exists
+           (fun t1 -> List.exists (compatible_triples af t1) l2)
+           l1)
     | `In l, `Exact e | `Exact e, `In l ->
-      not (List.exists (fun p -> List.exists (exact_in_triple p) l) e)
+      not (List.exists (fun p -> List.exists (exact_in af p) l) e)
     | `Exact e1, `Exact e2 ->
       not (List.exists (fun p -> List.exists (Prefix.equal p) e2) e1)
   in
@@ -112,15 +123,20 @@ and contradiction cs =
   in
   pairs prefix_sets
 
-let conds_unsat conds = cond_unsat (Policy.All conds)
-let conds_taut conds = List.for_all cond_taut conds
+let triple_window ?(af = V4) t = window af t
+let exact_in_triple ?(af = V4) p t = exact_in af p t
+let cond_unsat ?(af = V4) c = unsat af c
+let cond_taut ?(af = V4) c = taut af c
+let conds_unsat ?(af = V4) conds = unsat af (Policy.All conds)
+let conds_taut ?(af = V4) conds = List.for_all (taut af) conds
 
 (* ------------------------------------------------------------------ *)
 
 let unsatisfiable_entries i =
+  let af = i.pol_af in
   List.filter_map
     (fun (e : Policy.entry) ->
-      if conds_unsat e.Policy.conds then
+      if conds_unsat ~af e.Policy.conds then
         Some
           (Diagnostic.warning ~code:c_unsat
              ~hint:"delete the entry or fix the contradictory conditions"
@@ -132,11 +148,12 @@ let unsatisfiable_entries i =
     (Policy.entries i.policy)
 
 let dead_entries i =
+  let af = i.pol_af in
   (* Entries whose conditions are unsatisfiable never shadow anything
      and are reported by [unsatisfiable_entries] instead. *)
   let live =
     List.filter
-      (fun (e : Policy.entry) -> not (conds_unsat e.Policy.conds))
+      (fun (e : Policy.entry) -> not (conds_unsat ~af e.Policy.conds))
       (Policy.entries i.policy)
   in
   let rec go earlier acc = function
@@ -145,7 +162,7 @@ let dead_entries i =
       let shadow =
         List.find_opt
           (fun (prev : Policy.entry) ->
-            conds_taut prev.Policy.conds
+            conds_taut ~af prev.Policy.conds
             || prev.Policy.conds = e.Policy.conds)
           (List.rev earlier)
       in
@@ -170,21 +187,21 @@ let dead_entries i =
 (* A policy "permits all" when, after dropping unsatisfiable entries,
    the first entry is a Permit whose conditions hold for every
    route. *)
-let permits_all policy =
+let permits_all ?(af = V4) policy =
   let live =
     List.filter
-      (fun (e : Policy.entry) -> not (conds_unsat e.Policy.conds))
+      (fun (e : Policy.entry) -> not (conds_unsat ~af e.Policy.conds))
       (Policy.entries policy)
   in
   match live with
   | (e : Policy.entry) :: _ ->
-    e.Policy.decision = Policy.Permit && conds_taut e.Policy.conds
+    e.Policy.decision = Policy.Permit && conds_taut ~af e.Policy.conds
   | [] -> false
 
 let export_leaks i =
   match i.pol_relationship with
   | Some (Relationship.Provider | Relationship.Peer)
-    when permits_all i.policy ->
+    when permits_all ~af:i.pol_af i.policy ->
     let rel =
       match i.pol_relationship with
       | Some r -> Relationship.to_string r

@@ -1,3 +1,5 @@
+module Metrics = Peering_obs.Metrics
+
 type 'a pass = {
   name : string;
   about : string;
@@ -5,6 +7,13 @@ type 'a pass = {
 }
 
 type 'a t = { mutable passes : 'a pass list (* reversed *) }
+
+let m_passes =
+  Metrics.counter ~help:"Analyzer passes executed" "check.passes_run"
+
+let m_diags =
+  Metrics.Family.counter ~help:"Diagnostics emitted by analyzer passes"
+    "check.diagnostics"
 
 let create () = { passes = [] }
 
@@ -25,5 +34,19 @@ let run ?only ?exclude t x =
     && match exclude with None -> true | Some l -> not (List.mem p.name l)
   in
   List.concat_map
-    (fun p -> if selected p then p.run x else [])
+    (fun p ->
+      if selected p then begin
+        Metrics.Counter.inc m_passes;
+        let ds = p.run x in
+        List.iter
+          (fun d ->
+            Metrics.Counter.inc
+              (Metrics.Family.get m_diags
+                 [ ( "severity",
+                     Diagnostic.severity_to_string d.Diagnostic.severity )
+                 ]))
+          ds;
+        ds
+      end
+      else [])
     (in_order t)

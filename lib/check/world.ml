@@ -1,0 +1,376 @@
+open Peering_net
+open Peering_bgp
+open Peering_topo
+
+type export_classes = Gr_only | Any_class
+
+type export_prefixes =
+  | Any_prefix
+  | Windows of (Prefix.t * int * int) list
+  | No_prefix
+
+type export_abs = { classes : export_classes; prefixes : export_prefixes }
+
+let default_export = { classes = Gr_only; prefixes = Any_prefix }
+let permit_all_export = { classes = Any_class; prefixes = Any_prefix }
+
+type t = {
+  graph : As_graph.t;
+  af : Policy_checks.af;
+  mutable exports : export_abs Asn.Map.t Asn.Map.t;  (* u -> v -> abs *)
+  mutable local_prefs : int Asn.Map.t Asn.Map.t;  (* at -> from -> pref *)
+  mutable peerlock : Asn.Set.t Asn.Map.t;  (* at -> protected ASes *)
+  mutable peerlock_lite : Asn.Set.t;
+  mutable specs : (string option * Spec.t) list;  (* reversed *)
+}
+
+let of_graph ?(af = Policy_checks.V4) graph =
+  { graph;
+    af;
+    exports = Asn.Map.empty;
+    local_prefs = Asn.Map.empty;
+    peerlock = Asn.Map.empty;
+    peerlock_lite = Asn.Set.empty;
+    specs = []
+  }
+
+let graph w = w.graph
+let af w = w.af
+
+(* ------------------------------------------------------------------ *)
+(* Export abstractions. *)
+
+let export_at w u v =
+  match Asn.Map.find_opt u w.exports with
+  | None -> default_export
+  | Some m -> Option.value (Asn.Map.find_opt v m) ~default:default_export
+
+let set_export w ~from ~to_ abs =
+  let m = Option.value (Asn.Map.find_opt from w.exports) ~default:Asn.Map.empty in
+  w.exports <- Asn.Map.add from (Asn.Map.add to_ abs m) w.exports
+
+let inject_leak w ~from ~to_ =
+  let cur = export_at w from to_ in
+  set_export w ~from ~to_ { cur with classes = Any_class }
+
+let add_export_window w ~from ~to_ window =
+  let cur = export_at w from to_ in
+  let prefixes =
+    match cur.prefixes with
+    | Any_prefix | No_prefix -> Windows [ window ]
+    | Windows ws -> Windows (ws @ [ window ])
+  in
+  set_export w ~from ~to_ { cur with prefixes }
+
+let fold_exports f w acc =
+  Asn.Map.fold
+    (fun u m acc -> Asn.Map.fold (fun v abs acc -> f u v abs acc) m acc)
+    w.exports acc
+
+(* Lower a compiled export policy into the abstract domain, soundly:
+   the abstraction must admit every route the policy can permit.
+   Classes are always [Any_class] — a route-map does not test the
+   Gao–Rexford class, and entries guarded only by communities, paths
+   or neighbors may pass any route. The prefix component unions, per
+   live permit entry, the prefix constraint its conjunction provably
+   imposes; an entry with no prefix constraint forces [Any_prefix]. *)
+let abstract_of_policy ?(af = Policy_checks.V4) policy =
+  let live =
+    List.filter
+      (fun (e : Policy.entry) ->
+        e.Policy.decision = Policy.Permit
+        && not (Policy_checks.conds_unsat ~af e.Policy.conds))
+      (Policy.entries policy)
+  in
+  let entry_windows (e : Policy.entry) =
+    (* The windows of the first prefix constraint in the (flattened)
+       conjunction, if any: the matched set is contained in it. *)
+    let rec flatten acc = function
+      | Policy.All cs :: rest -> flatten (flatten acc cs) rest
+      | c :: rest -> flatten (c :: acc) rest
+      | [] -> acc
+    in
+    let members = flatten [] e.Policy.conds in
+    let rec first = function
+      | [] -> None
+      | Policy.Prefix_in l :: _ -> Some l
+      | Policy.Prefix_exact l :: _ ->
+        Some (List.map (fun p -> (p, Prefix.len p, Prefix.len p)) l)
+      | _ :: rest -> first rest
+    in
+    first (List.rev members)
+  in
+  let prefixes =
+    List.fold_left
+      (fun acc e ->
+        match acc with
+        | Any_prefix -> Any_prefix
+        | _ -> (
+          match entry_windows e with
+          | None -> Any_prefix
+          | Some ws -> (
+            match acc with
+            | No_prefix -> Windows ws
+            | Windows cur -> Windows (cur @ ws)
+            | Any_prefix -> Any_prefix)))
+      No_prefix live
+  in
+  { classes = Any_class; prefixes }
+
+let set_export_policy ?af w ~from ~to_ policy =
+  let af = Option.value af ~default:w.af in
+  set_export w ~from ~to_ (abstract_of_policy ~af policy)
+
+(* Does the prefix component admit a route carrying exactly [p]? *)
+let admits w abs p =
+  match abs.prefixes with
+  | Any_prefix -> true
+  | No_prefix -> false
+  | Windows ws ->
+    List.exists (fun t -> Policy_checks.exact_in_triple ~af:w.af p t) ws
+
+(* ------------------------------------------------------------------ *)
+(* Import preferences (stability analysis input). *)
+
+let default_local_pref = function
+  | Relationship.Customer -> 300
+  | Relationship.Peer -> 200
+  | Relationship.Provider -> 100
+
+let local_pref w ~at ~from =
+  match
+    Option.bind (Asn.Map.find_opt at w.local_prefs) (Asn.Map.find_opt from)
+  with
+  | Some lp -> Some lp
+  | None ->
+    Option.map default_local_pref (As_graph.relationship w.graph at from)
+
+let set_local_pref w ~at ~from pref =
+  let m =
+    Option.value (Asn.Map.find_opt at w.local_prefs) ~default:Asn.Map.empty
+  in
+  w.local_prefs <- Asn.Map.add at (Asn.Map.add from pref m) w.local_prefs
+
+(* The highest local-pref the policy may assign an imported route:
+   the default for the session class, or any [Set_local_pref] a permit
+   entry applies, whichever is larger (over-approximation). *)
+let set_import_policy ?af w ~at ~from policy =
+  let af = Option.value af ~default:w.af in
+  let base =
+    match As_graph.relationship w.graph at from with
+    | Some rel -> default_local_pref rel
+    | None -> invalid_arg "World.set_import_policy: not adjacent"
+  in
+  let lp =
+    List.fold_left
+      (fun acc (e : Policy.entry) ->
+        if
+          e.Policy.decision = Policy.Permit
+          && not (Policy_checks.conds_unsat ~af e.Policy.conds)
+        then
+          List.fold_left
+            (fun acc a ->
+              match a with Policy.Set_local_pref n -> max acc n | _ -> acc)
+            acc e.Policy.actions
+        else acc)
+      base (Policy.entries policy)
+  in
+  set_local_pref w ~at ~from lp
+
+(* ------------------------------------------------------------------ *)
+(* Peerlock. *)
+
+let add_peerlock w ~at ~protect =
+  let cur = Option.value (Asn.Map.find_opt at w.peerlock) ~default:Asn.Set.empty in
+  w.peerlock <- Asn.Map.add at (Asn.Set.add protect cur) w.peerlock
+
+let peerlock_protected w at =
+  Option.value (Asn.Map.find_opt at w.peerlock) ~default:Asn.Set.empty
+
+let peerlock_all w =
+  Asn.Map.fold (fun _ s acc -> Asn.Set.union s acc) w.peerlock Asn.Set.empty
+
+let add_peerlock_lite w at = w.peerlock_lite <- Asn.Set.add at w.peerlock_lite
+let peerlock_lite_at w at = Asn.Set.mem at w.peerlock_lite
+let any_peerlock_lite w = not (Asn.Set.is_empty w.peerlock_lite)
+
+let tier1s w =
+  List.fold_left
+    (fun acc asn ->
+      match As_graph.node w.graph asn with
+      | Some n when n.As_graph.kind = As_graph.Tier1 -> Asn.Set.add asn acc
+      | _ -> acc)
+    Asn.Set.empty (As_graph.ases w.graph)
+
+(* ------------------------------------------------------------------ *)
+(* Specs. *)
+
+let add_spec ?file w spec = w.specs <- (file, spec) :: w.specs
+let specs w = List.rev w.specs
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic hooks: the same world driving [Propagation.propagate_general]
+   so static verdicts are differentially testable against the concrete
+   oracle. *)
+
+let dynamic_leak w u v = (export_at w u v).classes = Any_class
+
+let dynamic_export w u v (ann : Propagation.announcement)
+    (_ : Propagation.route) =
+  admits w (export_at w u v) ann.Propagation.prefix
+
+let dynamic_import w v ~from (r : Propagation.route) =
+  let path = r.Propagation.path in
+  let blocked_by_peerlock =
+    Asn.Set.exists
+      (fun t -> (not (Asn.equal t from)) && List.exists (Asn.equal t) path)
+      (peerlock_protected w v)
+  in
+  let blocked_by_lite =
+    peerlock_lite_at w v
+    && (match r.Propagation.learned_over with
+       | Some (Relationship.Customer | Relationship.Peer) -> true
+       | _ -> false)
+    && Asn.Set.exists
+         (fun t -> (not (Asn.equal t from)) && List.exists (Asn.equal t) path)
+         (tier1s w)
+  in
+  not (blocked_by_peerlock || blocked_by_lite)
+
+(* ------------------------------------------------------------------ *)
+(* The .world file format (see the .mli for the grammar). *)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let parse_asn line s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Asn.of_int n
+  | _ -> fail line (Printf.sprintf "bad asn %S" s)
+
+let parse_prefix line s =
+  match Prefix.of_string s with
+  | Some p -> p
+  | None -> fail line (Printf.sprintf "bad prefix %S" s)
+
+let parse_int line s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> fail line (Printf.sprintf "bad integer %S" s)
+
+let parse_kind line = function
+  | "tier1" -> As_graph.Tier1
+  | "large-transit" -> As_graph.Large_transit
+  | "small-transit" -> As_graph.Small_transit
+  | "stub" -> As_graph.Stub
+  | "content" -> As_graph.Content
+  | "enterprise" -> As_graph.Enterprise
+  | s -> fail line (Printf.sprintf "unknown kind %S" s)
+
+let parse_rel line = function
+  | "customer" -> Relationship.Customer
+  | "provider" -> Relationship.Provider
+  | "peer" -> Relationship.Peer
+  | s -> fail line (Printf.sprintf "unknown relationship %S" s)
+
+let known w line asn =
+  if not (As_graph.mem w.graph asn) then
+    fail line (Printf.sprintf "undeclared %s" (Asn.to_string asn));
+  asn
+
+let adjacent w line u v =
+  match As_graph.relationship w.graph u v with
+  | Some _ -> ()
+  | None ->
+    fail line
+      (Printf.sprintf "no edge between %s and %s" (Asn.to_string u)
+         (Asn.to_string v))
+
+let handle_line w lineno toks =
+  match toks with
+  | "as" :: a :: rest ->
+    let asn = parse_asn lineno a in
+    if As_graph.mem w.graph asn then
+      fail lineno (Printf.sprintf "duplicate %s" (Asn.to_string asn));
+    let kind =
+      match rest with
+      | [] -> As_graph.Stub
+      | [ k ] -> parse_kind lineno k
+      | _ -> fail lineno "expected 'as <asn> [kind]'"
+    in
+    As_graph.add_as w.graph ~kind asn
+  | [ "edge"; a; rel; b ] ->
+    let a = known w lineno (parse_asn lineno a) in
+    let b = known w lineno (parse_asn lineno b) in
+    if Asn.equal a b then fail lineno "self edge";
+    if As_graph.relationship w.graph a b <> None then
+      fail lineno "duplicate edge";
+    As_graph.add_edge w.graph a (parse_rel lineno rel) b
+  | [ "originate"; a; p ] ->
+    let asn = known w lineno (parse_asn lineno a) in
+    As_graph.originate w.graph asn (parse_prefix lineno p)
+  | "export" :: u :: v :: rest -> (
+    let u = known w lineno (parse_asn lineno u) in
+    let v = known w lineno (parse_asn lineno v) in
+    adjacent w lineno u v;
+    match rest with
+    | [ "permit-all" ] -> set_export w ~from:u ~to_:v permit_all_export
+    | [ "none" ] ->
+      set_export w ~from:u ~to_:v
+        { (export_at w u v) with prefixes = No_prefix }
+    | [ "prefix"; p ] ->
+      let p = parse_prefix lineno p in
+      add_export_window w ~from:u ~to_:v (p, Prefix.len p, Prefix.len p)
+    | [ "prefix"; p; ge; le ] ->
+      let p = parse_prefix lineno p in
+      add_export_window w ~from:u ~to_:v
+        (p, parse_int lineno ge, parse_int lineno le)
+    | _ ->
+      fail lineno
+        "expected 'permit-all', 'none' or 'prefix <cidr> [<ge> <le>]'")
+  | [ "leak"; u; v ] ->
+    let u = known w lineno (parse_asn lineno u) in
+    let v = known w lineno (parse_asn lineno v) in
+    adjacent w lineno u v;
+    inject_leak w ~from:u ~to_:v
+  | [ "local-pref"; at; from; n ] ->
+    let at = known w lineno (parse_asn lineno at) in
+    let from = known w lineno (parse_asn lineno from) in
+    adjacent w lineno at from;
+    set_local_pref w ~at ~from (parse_int lineno n)
+  | [ "peerlock"; at; t ] ->
+    let at = known w lineno (parse_asn lineno at) in
+    let t = known w lineno (parse_asn lineno t) in
+    add_peerlock w ~at ~protect:t
+  | [ "peerlock-lite"; at ] ->
+    add_peerlock_lite w (known w lineno (parse_asn lineno at))
+  | [] -> ()
+  | kw :: _ -> fail lineno (Printf.sprintf "unknown statement %S" kw)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse ?af text =
+  let w = of_graph ?af (As_graph.create ()) in
+  try
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt line '#' with
+          | Some j -> String.sub line 0 j
+          | None -> line
+        in
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '!' then ()
+        else handle_line w lineno (tokens trimmed))
+      (String.split_on_char '\n' text);
+    Ok w
+  with Parse_error (line, msg) ->
+    Error (Printf.sprintf "line %d: %s" line msg)
+
+let parse_exn ?af text =
+  match parse ?af text with
+  | Ok w -> w
+  | Error e -> invalid_arg ("World.parse_exn: " ^ e)

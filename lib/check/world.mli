@@ -1,0 +1,159 @@
+(** A whole-testbed verification world: the input to
+    {!Check.check_world}.
+
+    A world bundles everything the semantic passes reason over at
+    once — an {!Peering_topo.As_graph} topology with business
+    relationships and originated prefixes, per-directed-edge {e export
+    abstractions} (the abstract domain of the static leak analysis),
+    per-session import preferences (stability analysis), Peerlock
+    configuration and a batch of experiment {!Spec}s (conflict
+    detection).
+
+    {2 Export abstractions}
+
+    Every directed edge [u -> v] carries an {!export_abs} describing
+    what [u] may export to [v]. The default — no override — is
+    Gao–Rexford discipline over all prefixes. Overrides come from
+    three places: an explicit [export]/[leak] statement in a [.world]
+    file, {!set_export}/{!inject_leak}, or a compiled per-session
+    {!Peering_bgp.Policy} lowered through {!abstract_of_policy}. The
+    abstraction always {e over}-approximates the concrete export
+    behaviour, which is what makes the leak analysis sound (DESIGN.md
+    §11).
+
+    {2 The .world file format}
+
+    One statement per line; [#] and [!] start comments:
+
+    {v
+as <asn> [kind]               # kind: tier1|large-transit|small-transit|
+                              #       stub|content|enterprise (default stub)
+edge <a> <rel> <b>            # <b> is <a>'s customer|provider|peer
+originate <asn> <cidr>
+export <u> <v> permit-all     # u exports everything to v (leak-prone)
+export <u> <v> none           # u exports nothing to v
+export <u> <v> prefix <cidr> [<ge> <le>]   # window; repeatable (union)
+leak <u> <v>                  # u ignores export discipline towards v
+local-pref <v> <u> <n>        # v's import preference for routes from u
+peerlock <v> <t>              # v drops routes carrying t unless from t
+peerlock-lite <v>             # v drops customer/peer routes carrying
+                              # any tier-1 it is not hearing them from
+    v} *)
+
+open Peering_net
+open Peering_bgp
+open Peering_topo
+
+type export_classes =
+  | Gr_only  (** only what Gao–Rexford discipline allows *)
+  | Any_class  (** exports regardless of learned class (leak-prone) *)
+
+type export_prefixes =
+  | Any_prefix
+  | Windows of (Prefix.t * int * int) list
+      (** prefix-list style [(p, ge, le)] windows, unioned *)
+  | No_prefix  (** exports nothing *)
+
+type export_abs = { classes : export_classes; prefixes : export_prefixes }
+(** What a directed edge may export: a route passes iff its class
+    passes [classes] {e and} its prefix passes [prefixes]. *)
+
+val default_export : export_abs
+(** [{ classes = Gr_only; prefixes = Any_prefix }] — plain
+    Gao–Rexford. *)
+
+val permit_all_export : export_abs
+
+type t
+
+val of_graph : ?af:Policy_checks.af -> As_graph.t -> t
+(** Wrap an existing topology (shared, not copied) with no overrides.
+    [af] (default {!Policy_checks.V4}) is used when lowering policies
+    and matching prefix windows. *)
+
+val graph : t -> As_graph.t
+val af : t -> Policy_checks.af
+
+val export_at : t -> Asn.t -> Asn.t -> export_abs
+(** The abstraction on the directed edge [u -> v];
+    {!default_export} when never overridden. *)
+
+val set_export : t -> from:Asn.t -> to_:Asn.t -> export_abs -> unit
+val inject_leak : t -> from:Asn.t -> to_:Asn.t -> unit
+(** Mark the directed edge as leaking: classes become {!Any_class},
+    the prefix component is kept. *)
+
+val add_export_window : t -> from:Asn.t -> to_:Asn.t -> Prefix.t * int * int -> unit
+(** Narrow the edge to prefix windows (union with any existing
+    windows). *)
+
+val fold_exports : (Asn.t -> Asn.t -> export_abs -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every overridden directed edge, ascending by (from,
+    to). *)
+
+val abstract_of_policy : ?af:Policy_checks.af -> Policy.t -> export_abs
+(** Soundly lower a compiled export policy: classes are always
+    {!Any_class} (a route-map does not test the Gao–Rexford class);
+    prefixes union each live permit entry's provable prefix
+    constraint, with an unconstrained entry forcing {!Any_prefix}. *)
+
+val set_export_policy : ?af:Policy_checks.af -> t -> from:Asn.t -> to_:Asn.t -> Policy.t -> unit
+
+val admits : t -> export_abs -> Prefix.t -> bool
+(** Does the prefix component admit a route carrying exactly this
+    prefix? *)
+
+val default_local_pref : Relationship.t -> int
+(** Customer 300, peer 200, provider 100 — prefer-customer defaults
+    consistent with {!Peering_topo.Relationship.import_preference}. *)
+
+val local_pref : t -> at:Asn.t -> from:Asn.t -> int option
+(** The (possibly overridden) import preference [at] assigns routes
+    learned from [from]; [None] if not adjacent. *)
+
+val set_local_pref : t -> at:Asn.t -> from:Asn.t -> int -> unit
+
+val set_import_policy : ?af:Policy_checks.af -> t -> at:Asn.t -> from:Asn.t -> Policy.t -> unit
+(** Record the highest local-pref the session's import policy may
+    assign (its [Set_local_pref] actions, or the class default) —
+    an over-approximation for the stability analysis. *)
+
+val add_peerlock : t -> at:Asn.t -> protect:Asn.t -> unit
+(** [at] filters routes whose path carries [protect] unless learned
+    directly from [protect] (NTT Peerlock). *)
+
+val peerlock_protected : t -> Asn.t -> Asn.Set.t
+
+val peerlock_all : t -> Asn.Set.t
+(** The union of every protected set — the ASes whose presence on a
+    path the analysis must track. *)
+
+val add_peerlock_lite : t -> Asn.t -> unit
+val peerlock_lite_at : t -> Asn.t -> bool
+val any_peerlock_lite : t -> bool
+
+val tier1s : t -> Asn.Set.t
+(** ASes declared with kind [Tier1] — the set Peerlock-lite guards. *)
+
+val add_spec : ?file:string -> t -> Spec.t -> unit
+val specs : t -> (string option * Spec.t) list
+(** In attachment order. *)
+
+(** {2 Dynamic hooks}
+
+    Adapters plugging the same world into
+    {!Peering_topo.Propagation.propagate_general}, so the static
+    verdicts can be differentially tested against the concrete oracle
+    ([@check-diff]): {!dynamic_leak} is the [?leak] hook
+    (class-override edges), {!dynamic_export} the [?export_filter]
+    (prefix windows), {!dynamic_import} the [?import_filter] (Peerlock
+    and Peerlock-lite). *)
+
+val dynamic_leak : t -> Asn.t -> Asn.t -> bool
+val dynamic_export : t -> Asn.t -> Asn.t -> Propagation.announcement -> Propagation.route -> bool
+val dynamic_import : t -> Asn.t -> from:Asn.t -> Propagation.route -> bool
+
+val parse : ?af:Policy_checks.af -> string -> (t, string) result
+(** Parse a [.world] file. The error includes a line number. *)
+
+val parse_exn : ?af:Policy_checks.af -> string -> t

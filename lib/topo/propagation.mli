@@ -108,6 +108,33 @@ val propagate_seq :
     the inputs alone, not of hash-table layout. [visit] is a test hook
     called on every AS dequeued in phases 1 and 3, in order. *)
 
+val propagate_general :
+  ?deny:(Asn.t -> announcement -> bool) ->
+  ?down:Asn.Set.t ->
+  ?leak:(Asn.t -> Asn.t -> bool) ->
+  ?export_filter:(Asn.t -> Asn.t -> announcement -> route -> bool) ->
+  ?import_filter:(Asn.t -> from:Asn.t -> route -> bool) ->
+  As_graph.t ->
+  announcement list ->
+  result
+(** A single work-queue fixpoint with no phase structure, for worlds
+    that are {e not} valley-free. [leak u v] marks the directed edge
+    [u -> v] as leaking: [u] exports its route to [v] regardless of
+    Gao–Rexford export discipline (RFC 7908 route leaks), while [v]
+    still imports it over the real relationship — a leaked route
+    arriving at a provider classifies as a customer route and
+    re-exports everywhere, which is exactly why leaks spread.
+    [export_filter u v ann r] refines exports further (return [false]
+    to suppress — prefix-windowed export policies); [import_filter v
+    ~from r] lets the importer reject a candidate (Peerlock-style
+    filters; [r.path] starts with [from]). On valley-free inputs (no
+    [leak]/filters) the fixpoint equals {!propagate_seq}'s table.
+    Terminates because adoption is strictly improving under {!better}.
+    Deterministic: the work queue is seeded in ascending ASN order and
+    neighbors are visited in ascending ASN order. This engine is the
+    dynamic oracle the static leak analysis is differentially tested
+    against ([test/test_check_diff.ml], alias [@check-diff]). *)
+
 val route_at : result -> Asn.t -> route option
 (** The route the AS selected, [None] if unreachable. *)
 
@@ -136,3 +163,12 @@ val routes_via : result -> Asn.t -> Asn.t list
 (** ASes whose selected path traverses the given AS (inclusive of
     next-hop position, exclusive of themselves). Useful for
     interception experiments. *)
+
+val polluted : As_graph.t -> result -> Asn.t list
+(** ASes whose selected route crossed a Gao–Rexford-violating export —
+    the class word of the full path read self→origin leaves the legal
+    shape Provider* Peer? Customer*. Empty on tables produced by the
+    valley-free engines; after {!propagate_general} with [leak] edges
+    it is the leak's blast radius, the ground truth the static
+    analysis' taint set must cover. Ascending. Unlabelled adjacencies
+    (poisoned suffixes) end each walk. *)

@@ -1,7 +1,12 @@
 (* Self-hosting gate for the analyzer: runs every pass over the repo's
-   own config fixtures and example experiment specs. Any diagnostic at
-   all fails the build — a finding here is a regression either in the
-   fixture or in the analyzer itself (false positive). *)
+   own config fixtures, example experiment specs and verification
+   worlds. Any diagnostic at all fails the build — a finding here is a
+   regression either in the fixture or in the analyzer itself (false
+   positive).
+
+   Specs are checked both individually and as a batch (cross-spec
+   conflicts); every .world gets all given specs attached, so
+   check_world also exercises the per-world spec passes. *)
 
 open Peering_check
 
@@ -18,28 +23,39 @@ let () =
     prerr_endline "check_selfhost: no files given";
     exit 2
   end;
-  let configs = ref [] and specs = ref [] in
+  let configs = ref [] and specs = ref [] and worlds = ref [] in
+  let parse_fail file e =
+    Printf.eprintf "check_selfhost: %s: parse error: %s\n" file e;
+    exit 2
+  in
   List.iter
     (fun file ->
       let text = read file in
       if Filename.check_suffix file ".exp" then
         match Spec.parse text with
-        | Ok s -> specs := (file, s) :: !specs
-        | Error e ->
-          Printf.eprintf "check_selfhost: %s: parse error: %s\n" file e;
-          exit 2
+        | Ok s -> specs := (Some file, s) :: !specs
+        | Error e -> parse_fail file e
+      else if Filename.check_suffix file ".world" then
+        match World.parse text with
+        | Ok w -> worlds := (file, w) :: !worlds
+        | Error e -> parse_fail file e
       else
         match Peering_router.Config.parse text with
         | Ok c -> configs := (Some file, c) :: !configs
-        | Error e ->
-          Printf.eprintf "check_selfhost: %s: parse error: %s\n" file e;
-          exit 2)
+        | Error e -> parse_fail file e)
     files;
+  let specs = List.rev !specs in
+  let world_diags =
+    List.concat_map
+      (fun (file, w) ->
+        List.iter (fun (f, s) -> World.add_spec ?file:f w s) specs;
+        List.map (Diagnostic.with_file file) (Check.check_world w))
+      (List.rev !worlds)
+  in
   let diags =
     Check.check_configs (List.rev !configs)
-    @ List.concat_map
-        (fun (file, s) -> Check.check_spec ~file s)
-        (List.rev !specs)
+    @ Check.check_specs specs
+    @ world_diags
   in
   List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
   if diags <> [] then begin

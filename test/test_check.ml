@@ -449,6 +449,320 @@ withdraw 184.164.224.0/24 at 10800
   check Alcotest.bool "spaced beacon schedule is fine" false
     (fired "EXP-DAMPEN" (Check.check_spec calm))
 
+(* ------------------------------------------------------------------ *)
+(* Address-family threading in the policy condition algebra *)
+
+let test_af_windows () =
+  (* IPv4 clamps length windows at /32; IPv6 at /128. The hardcoded
+     `min le 32` this replaces silently emptied v6-style windows. *)
+  let t = (pfx "10.0.0.0/8", 8, 64) in
+  check Alcotest.(pair int int) "v4 clamps to 32" (8, 32)
+    (Policy_checks.triple_window t);
+  check Alcotest.(pair int int) "v6 keeps 64" (8, 64)
+    (Policy_checks.triple_window ~af:Policy_checks.V6 t);
+  check Alcotest.int "max_prefix_len v4" 32
+    (Policy_checks.max_prefix_len Policy_checks.V4);
+  check Alcotest.int "max_prefix_len v6" 128
+    (Policy_checks.max_prefix_len Policy_checks.V6)
+
+let test_af_taut_unsat () =
+  let any32 = Policy.Prefix_in [ (pfx "0.0.0.0/0", 0, 32) ] in
+  let any128 = Policy.Prefix_in [ (pfx "0.0.0.0/0", 0, 128) ] in
+  check Alcotest.bool "0/0 le 32 is taut under v4" true
+    (Policy_checks.cond_taut any32);
+  check Alcotest.bool "0/0 le 32 is NOT taut under v6" false
+    (Policy_checks.cond_taut ~af:Policy_checks.V6 any32);
+  check Alcotest.bool "0/0 le 128 is taut under v6" true
+    (Policy_checks.cond_taut ~af:Policy_checks.V6 any128);
+  (* a window beyond /32 is empty for v4 but satisfiable for v6 *)
+  let deep = Policy.Prefix_in [ (pfx "10.0.0.0/8", 48, 64) ] in
+  check Alcotest.bool "ge 48 unsat under v4" true
+    (Policy_checks.cond_unsat deep);
+  check Alcotest.bool "ge 48 satisfiable under v6" false
+    (Policy_checks.cond_unsat ~af:Policy_checks.V6 deep);
+  (* the af default keeps the old per-file behaviour *)
+  let i =
+    Policy_checks.input ~af:Policy_checks.V6
+      (Policy.of_entries
+         [ entry 10 Policy.Permit [ deep ]; entry 20 Policy.Permit [] ])
+  in
+  check Alcotest.bool "V6 input accepts a deep window" false
+    (fired "POLICY-UNSAT" (Registry.run Check.policy_registry i))
+
+(* ------------------------------------------------------------------ *)
+(* World parsing and the semantic passes *)
+
+module World = Peering_check.World
+
+let leaky_world_text =
+  {|as 10 tier1
+as 20 small-transit
+as 30 small-transit
+as 40 stub
+edge 20 provider 10
+edge 30 provider 10
+edge 20 peer 30
+edge 40 provider 20
+originate 30 198.51.100.0/24
+originate 40 203.0.113.0/24
+leak 20 10
+|}
+
+let test_world_parse () =
+  let w = World.parse_exn leaky_world_text in
+  let g = World.graph w in
+  check Alcotest.int "ases" 4 (Peering_topo.As_graph.n_ases g);
+  check Alcotest.int "edges" 4 (Peering_topo.As_graph.n_edges g);
+  check Alcotest.int "prefixes" 2 (Peering_topo.As_graph.n_prefixes g);
+  check Alcotest.bool "leak edge is Any_class" true
+    ((World.export_at w (Asn.of_int 20) (Asn.of_int 10)).World.classes
+    = World.Any_class);
+  check Alcotest.bool "other edges default" true
+    (World.export_at w (Asn.of_int 30) (Asn.of_int 10) = World.default_export);
+  let bad t = match World.parse t with Error _ -> true | Ok _ -> false in
+  check Alcotest.bool "undeclared AS in edge" true (bad "edge 1 peer 2");
+  check Alcotest.bool "duplicate AS" true (bad "as 1\nas 1");
+  check Alcotest.bool "duplicate edge" true
+    (bad "as 1\nas 2\nedge 1 peer 2\nedge 2 peer 1");
+  check Alcotest.bool "unknown kind" true (bad "as 1 mega-transit");
+  check Alcotest.bool "leak needs an edge" true (bad "as 1\nas 2\nleak 1 2");
+  check Alcotest.bool "unknown statement" true (bad "frobnicate")
+
+let test_world_local_pref () =
+  let w = World.parse_exn leaky_world_text in
+  check Alcotest.(option int) "customer default" (Some 300)
+    (World.local_pref w ~at:(Asn.of_int 10) ~from:(Asn.of_int 20));
+  check Alcotest.(option int) "peer default" (Some 200)
+    (World.local_pref w ~at:(Asn.of_int 20) ~from:(Asn.of_int 30));
+  check Alcotest.(option int) "provider default" (Some 100)
+    (World.local_pref w ~at:(Asn.of_int 20) ~from:(Asn.of_int 10));
+  check Alcotest.(option int) "not adjacent" None
+    (World.local_pref w ~at:(Asn.of_int 40) ~from:(Asn.of_int 10));
+  World.set_local_pref w ~at:(Asn.of_int 20) ~from:(Asn.of_int 10) 350;
+  check Alcotest.(option int) "override" (Some 350)
+    (World.local_pref w ~at:(Asn.of_int 20) ~from:(Asn.of_int 10))
+
+let test_abstract_of_policy () =
+  let guarded =
+    Policy.of_entries
+      [ entry 10 Policy.Permit
+          [ Policy.Prefix_in [ (pfx "184.164.224.0/19", 19, 24) ] ];
+        entry 20 Policy.Deny []
+      ]
+  in
+  (match World.abstract_of_policy guarded with
+  | { World.classes = World.Any_class; prefixes = World.Windows [ w ] } ->
+    check Alcotest.bool "window kept" true (w = (pfx "184.164.224.0/19", 19, 24))
+  | _ -> Alcotest.fail "guarded policy should lower to one window");
+  (match World.abstract_of_policy Policy.permit_all with
+  | { World.classes = World.Any_class; prefixes = World.Any_prefix } -> ()
+  | _ -> Alcotest.fail "permit-all lowers to Any_prefix");
+  let deny_all = Policy.of_entries [ entry 10 Policy.Deny [] ] in
+  match World.abstract_of_policy deny_all with
+  | { World.prefixes = World.No_prefix; _ } -> ()
+  | _ -> Alcotest.fail "deny-all lowers to No_prefix"
+
+let test_leak_analysis () =
+  let w = World.parse_exn leaky_world_text in
+  let ann =
+    Peering_topo.Propagation.announce (Asn.of_int 30) (pfx "198.51.100.0/24")
+  in
+  let v = Leak_analysis.analyze w ann in
+  check Alcotest.(list int) "everyone may hold the route"
+    [ 10; 20; 30; 40 ]
+    (List.map Asn.to_int (Asn.Set.elements v.Leak_analysis.reachable));
+  (* the leaked route crosses 20 -> 10 and then re-descends everywhere *)
+  check Alcotest.(list int) "taint reaches the whole world"
+    [ 10; 20; 30; 40 ]
+    (List.map Asn.to_int (Asn.Set.elements v.Leak_analysis.tainted));
+  check Alcotest.bool "fixpoint terminates with work done" true
+    (v.Leak_analysis.iterations > 0);
+  (* without the leak nothing is tainted *)
+  let clean =
+    World.parse_exn
+      (String.concat "\n"
+         (List.filter
+            (fun l -> not (String.length l >= 4 && String.sub l 0 4 = "leak"))
+            (String.split_on_char '\n' leaky_world_text)))
+  in
+  let v' = Leak_analysis.analyze clean ann in
+  check Alcotest.int "no taint without leak" 0
+    (Asn.Set.cardinal v'.Leak_analysis.tainted);
+  check Alcotest.(list string) "LEAK codes fire on the leaky world"
+    [ "LEAK-EDGE"; "LEAK-REACH" ]
+    (List.sort_uniq String.compare (codes_of (Check.check_world w)));
+  check Alcotest.(list string) "clean world is quiet" []
+    (codes_of (Check.check_world clean))
+
+let test_leak_peerlock () =
+  (* Peerlock at the receiving provider: 10 protects 30, and the
+     leaked path 30 -> 20 -> 10 always carries 30 (must-information),
+     so the static analysis can soundly block the leak at 10. *)
+  let w = World.parse_exn leaky_world_text in
+  World.add_peerlock w ~at:(Asn.of_int 10) ~protect:(Asn.of_int 30);
+  let ann =
+    Peering_topo.Propagation.announce (Asn.of_int 30) (pfx "198.51.100.0/24")
+  in
+  let v = Leak_analysis.analyze w ann in
+  check Alcotest.bool "peerlock blocks the taint at 10" false
+    (Asn.Set.mem (Asn.of_int 10) v.Leak_analysis.tainted)
+
+let test_stability () =
+  let w = World.parse_exn leaky_world_text in
+  check Alcotest.int "default prefs: no risky edges" 0
+    (List.length (Stability.risky_edges w));
+  (* one risky session: 20 imports its provider at customer level *)
+  World.set_local_pref w ~at:(Asn.of_int 20) ~from:(Asn.of_int 10) 300;
+  (match Stability.risky_edges w with
+  | [ (v, u, rel, pref, floor) ] ->
+    check Alcotest.int "risky at" 20 (Asn.to_int v);
+    check Alcotest.int "risky from" 10 (Asn.to_int u);
+    check Alcotest.bool "provider session" true (rel = Relationship.Provider);
+    check Alcotest.(pair int int) "pref vs floor" (300, 300) (pref, floor)
+  | l -> Alcotest.failf "expected one risky edge, got %d" (List.length l));
+  check Alcotest.bool "STAB-PREF fires" true
+    (fired "STAB-PREF" (Check.check_world w));
+  check Alcotest.bool "no wheel from one edge" false
+    (fired "STAB-WHEEL" (Check.check_world w));
+  (* a peer triangle of customer-level imports is a dispute wheel *)
+  let tri =
+    World.parse_exn
+      "as 1\nas 2\nas 3\nedge 1 peer 2\nedge 2 peer 3\nedge 3 peer 1\n\
+       local-pref 1 2 300\nlocal-pref 2 3 300\nlocal-pref 3 1 300"
+  in
+  check Alcotest.bool "STAB-WHEEL fires on the triangle" true
+    (fired "STAB-WHEEL" (Check.check_world tri));
+  check Alcotest.int "three risky sessions" 3
+    (List.length (Stability.risky_edges tri))
+
+let test_graph_structure () =
+  let split = World.parse_exn "as 1\nas 2\nas 3\nedge 1 peer 2" in
+  check Alcotest.bool "partition fires" true
+    (fired "GRAPH-PARTITION" (Check.check_world split));
+  let cyc =
+    World.parse_exn
+      "as 1\nas 2\nas 3\nedge 1 provider 2\nedge 2 provider 3\nedge 3 provider 1"
+  in
+  check Alcotest.bool "relationship cycle fires" true
+    (fired "GRAPH-RELCYCLE" (Check.check_world cyc));
+  let moas =
+    World.parse_exn
+      "as 1\nas 2\nedge 1 peer 2\noriginate 1 10.0.0.0/8\noriginate 2 10.0.0.0/8"
+  in
+  check Alcotest.bool "MOAS fires" true
+    (fired "GRAPH-MOAS" (Check.check_world moas))
+
+let test_spec_conflicts () =
+  let a =
+    Spec.parse_exn
+      "experiment a\nprefix 184.164.224.0/24\nasn 64512\nasn 64513\n\
+       announce 184.164.224.0/24 at 0"
+  in
+  let b =
+    Spec.parse_exn
+      "experiment b\nprefix 184.164.224.128/25\nasn 64512\nmay-poison\n\
+       announce 184.164.224.128/25 at 0 path 64513"
+  in
+  let diags = Check.check_specs [ (None, a); (None, b) ] in
+  check Alcotest.bool "overlap" true (fired "XEXP-OVERLAP" diags);
+  check Alcotest.bool "shared asn" true (fired "XEXP-ASN" diags);
+  check Alcotest.bool "cross poison" true (fired "XEXP-POISON" diags);
+  let c =
+    Spec.parse_exn
+      "experiment c\nprefix 184.164.230.0/24\nasn 64600\n\
+       announce 184.164.230.0/24 at 0"
+  in
+  check Alcotest.(list string) "disjoint specs are quiet" []
+    (codes_of (Check.check_specs [ (None, a); (None, c) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Catalog integrity: the per-module code lists and the published
+   catalog must stay in lockstep, and every catalog code must be
+   demonstrated by a fixture under test/fixtures. *)
+
+let module_codes =
+  Peering_check.Config_checks.codes
+  @ Policy_checks.codes
+  @ Peering_check.Experiment_checks.codes
+  @ Peering_check.Graph_checks.codes
+  @ Leak_analysis.codes
+  @ Stability.codes
+  @ [ "PARSE" ]
+
+let test_catalog_drift () =
+  let catalog = List.map (fun (c, _, _) -> c) Check.codes in
+  let sorted l = List.sort String.compare l in
+  check Alcotest.int "no duplicate catalog entries"
+    (List.length catalog)
+    (List.length (List.sort_uniq String.compare catalog));
+  check Alcotest.int "no duplicate module codes"
+    (List.length module_codes)
+    (List.length (List.sort_uniq String.compare module_codes));
+  check Alcotest.(list string) "catalog = union of module code lists"
+    (sorted module_codes) (sorted catalog)
+
+let read_fixture file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  text
+
+let test_fixture_coverage () =
+  (* cwd is test/ under `dune runtest`, the project root under
+     `dune exec` — accept either *)
+  let dir =
+    if Sys.file_exists "fixtures/bad" then "fixtures/bad"
+    else "test/fixtures/bad"
+  in
+  let files =
+    Sys.readdir dir |> Array.to_list |> List.sort String.compare
+    |> List.map (Filename.concat dir)
+  in
+  let fired_codes = ref [] in
+  let note diags =
+    fired_codes := codes_of diags @ !fired_codes
+  in
+  let configs = ref [] and specs = ref [] in
+  List.iter
+    (fun file ->
+      let text = read_fixture file in
+      if Filename.check_suffix file ".exp" then
+        match Spec.parse text with
+        | Ok s -> specs := (Some file, s) :: !specs
+        | Error _ -> fired_codes := "PARSE" :: !fired_codes
+      else if Filename.check_suffix file ".world" then
+        match World.parse text with
+        | Ok w -> note (Check.check_world w)
+        | Error _ -> fired_codes := "PARSE" :: !fired_codes
+      else
+        match Config.parse text with
+        | Ok c ->
+          configs := (Some file, c) :: !configs;
+          (* compiled route-maps double as policy-pass fixtures,
+             vetted as exports towards a provider *)
+          List.iter
+            (fun name ->
+              match Config.compile_route_map c name with
+              | Ok p ->
+                note
+                  (Check.check_policy ~name
+                     ~relationship:Relationship.Provider p)
+              | Error _ -> ())
+            (Config.route_map_names c)
+        | Error _ -> fired_codes := "PARSE" :: !fired_codes)
+    files;
+  note (Check.check_configs (List.rev !configs));
+  note (Check.check_specs (List.rev !specs));
+  let seen = List.sort_uniq String.compare !fired_codes in
+  let missing =
+    List.filter
+      (fun (code, _, _) -> not (List.mem code seen))
+      Check.codes
+  in
+  check Alcotest.(list string) "every catalog code has a fixture" []
+    (List.map (fun (c, _, _) -> c) missing)
+
 let test_check_experiment () =
   (* the programmatic path: vet an Experiment.t plus a schedule *)
   let exp =
@@ -505,5 +819,23 @@ let () =
           tc "EXP-POISON" `Quick test_exp_poison;
           tc "EXP-DAMPEN" `Quick test_exp_dampen;
           tc "programmatic experiment" `Quick test_check_experiment
+        ] );
+      ( "address-family",
+        [ tc "length windows clamp per family" `Quick test_af_windows;
+          tc "taut/unsat respect the family" `Quick test_af_taut_unsat
+        ] );
+      ( "world",
+        [ tc "parser" `Quick test_world_parse;
+          tc "local-pref defaults" `Quick test_world_local_pref;
+          tc "policy lowering" `Quick test_abstract_of_policy;
+          tc "leak fixpoint" `Quick test_leak_analysis;
+          tc "peerlock blocks taint" `Quick test_leak_peerlock;
+          tc "stability" `Quick test_stability;
+          tc "graph structure" `Quick test_graph_structure;
+          tc "cross-spec conflicts" `Quick test_spec_conflicts
+        ] );
+      ( "catalog",
+        [ tc "no drift vs module code lists" `Quick test_catalog_drift;
+          tc "every code has a fixture" `Quick test_fixture_coverage
         ] )
     ]
