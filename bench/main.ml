@@ -1,6 +1,7 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index). Run with no arguments for all
-   experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1..a6 prop chaos.
+   experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1..a6 prop chaos
+   mrt (scale the MRT dump with MRT_BENCH_PREFIXES, default 1M).
    Pass --bechamel to additionally run microbenchmarks of the core
    primitives, and --json FILE to also write every paper-vs-measured
    row plus the metrics snapshot as a machine-readable artifact. *)
@@ -226,7 +227,9 @@ let f2 () =
   section "F2  BGP table memory vs prefixes and peers (Figure 2)";
   Printf.printf
     "  Modelled resident memory (MB), Quagga-calibrated (Fig. 2 axes):\n";
-  let xs = [ 15_625; 125_000; 250_000; 375_000; 500_000 ] in
+  (* 1M extends the grid an order of magnitude past the synthetic
+     world, to the full-DFZ feed size the MRT bench loads for real. *)
+  let xs = [ 15_625; 125_000; 250_000; 375_000; 500_000; 1_000_000 ] in
   let ns = [ 5; 10; 15; 20 ] in
   row "  %10s" "prefixes";
   List.iter (fun n -> row " %9s" (Printf.sprintf "%dpeers" n)) ns;
@@ -745,6 +748,171 @@ let prop () =
     (Propagation.reachable_count seq_r)
 
 (* ------------------------------------------------------------------ *)
+(* MRT: the wire hot path — decode throughput, cursor vs eager, and
+   the 1M-prefix / 20-peer mux load of the ISSUE's F2 extension.
+   Wall-clock rows here are volatile by nature, like PROP's. *)
+
+module Mrt = Peering_measure.Mrt
+module Wire = Peering_bgp.Wire
+
+(* Peak RSS as the kernel saw it; unlike GC stats this includes the
+   decode buffers. Process-wide, so when several experiments run it
+   reflects the largest of them. *)
+let vm_hwm_mb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          close_in ic;
+          Scanf.sscanf
+            (String.sub line 6 (String.length line - 6))
+            " %d kB"
+            (fun kb -> Some (float_of_int kb /. 1024.0))
+        end
+        else go ()
+      | exception End_of_file ->
+        close_in ic;
+        None
+    in
+    go ()
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ -> None
+
+let mrt () =
+  section "MRT  RFC 6396 ingest: decode throughput and 1M-prefix mux load";
+  let n_prefixes =
+    match Sys.getenv_opt "MRT_BENCH_PREFIXES" with
+    | Some s -> int_of_string s
+    | None -> 1_000_000
+  in
+  let n_peers = 20 in
+  let peers = Mrt.make_peers ~n:n_peers in
+  (* Generate a TABLE_DUMP_V2 dump, streamed straight into one buffer
+     (records are never materialized as a list). *)
+  let t0 = Unix.gettimeofday () in
+  let buf = Buffer.create (64 * 1024 * 1024) in
+  Mrt.iter_synthetic_rib ~peers ~n_prefixes (fun r -> Mrt.encode_record buf r);
+  let dump = Buffer.to_bytes buf in
+  let gen_t = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "  dump: %d prefixes sharded over %d peers, %.1f MB (generated in %.1fs)\n"
+    n_prefixes n_peers
+    (float_of_int (Bytes.length dump) /. 1048576.0)
+    gen_t;
+  paper_vs_measured ~label:"RIB dump size"
+    ~paper:"~1M prefixes (full DFZ feed, §2)"
+    ~measured:
+      (Printf.sprintf "%d prefixes, %.1f MB" n_prefixes
+         (float_of_int (Bytes.length dump) /. 1048576.0));
+  (* Pass 1: streaming decode, nothing retained. *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Mrt.fold dump ~init:(0, 0) ~f:(fun (r, e) t ->
+         match t.Mrt.record with
+         | Mrt.Rib_v4 { entries; _ } -> (r + 1, e + List.length entries)
+         | _ -> (r + 1, e))
+   with
+  | Error e -> failwith (Mrt.error_to_string e)
+  | Ok (records, entries) ->
+    let dt = Unix.gettimeofday () -. t0 in
+    paper_vs_measured ~label:"MRT decode throughput" ~paper:"n/a"
+      ~measured:
+        (Printf.sprintf "%.0fk records/s (%d records, %d entries, %.1fs)"
+           (float_of_int records /. dt /. 1000.0)
+           records entries dt));
+  (* Pass 2: load into a mux-style table (per-peer Adj-RIBs-In feeding
+     a Loc-RIB through the decision process). *)
+  let t0 = Unix.gettimeofday () in
+  (match Mrt.load dump with
+  | Error e -> failwith (Mrt.error_to_string e)
+  | Ok l ->
+    let dt = Unix.gettimeofday () -. t0 in
+    let model_mb =
+      float_of_int
+        (Memory.model_bytes ~peers:n_peers
+           ~prefixes_per_peer:(n_prefixes / n_peers) ())
+      /. 1048576.0
+    in
+    let rib_mb =
+      float_of_int (Memory.measured_bytes l.Mrt.rib) /. 1048576.0
+    in
+    paper_vs_measured
+      ~label:
+        (Printf.sprintf "mux load: %dk prefixes into %d peers"
+           (n_prefixes / 1000) n_peers)
+      ~paper:"tables are the mux scaling wall (Fig. 2)"
+      ~measured:
+        (Printf.sprintf "%d routes in %.1fs (%.0fk routes/s)" l.Mrt.routes4
+           dt
+           (float_of_int l.Mrt.routes4 /. dt /. 1000.0));
+    paper_vs_measured ~label:"table memory after load"
+      ~paper:(Printf.sprintf "Fig. 2 model: %.0f MB" model_mb)
+      ~measured:(Printf.sprintf "%.0f MB (Obj.reachable_words)" rib_mb);
+    let gc_mb =
+      float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * Sys.word_size / 8)
+      /. 1048576.0
+    in
+    (match vm_hwm_mb () with
+    | Some hwm ->
+      paper_vs_measured ~label:"peak RSS (VmHWM, process-wide)"
+        ~paper:"n/a"
+        ~measured:
+          (Printf.sprintf "%.0f MB (GC top heap %.0f MB)" hwm gc_mb)
+    | None ->
+      paper_vs_measured ~label:"peak heap (GC top_heap_words)" ~paper:"n/a"
+        ~measured:(Printf.sprintf "%.0f MB" gc_mb)));
+  (* Pass 3: cursor vs eager on a plain BGP UPDATE stream — the
+     session hot path, without MRT framing. *)
+  let n_msgs = min 200_000 (max 1 n_prefixes) in
+  let opts = Wire.{ four_octet_asn = true; add_path = false } in
+  let sb = Buffer.create (64 * n_msgs) in
+  for i = 0 to n_msgs - 1 do
+    let attrs =
+      Peering_bgp.Attrs.make
+        ~as_path:
+          (Peering_bgp.As_path.of_asns
+             [ Asn.of_int (64500 + (i mod 20));
+               Asn.of_int (64000 + (i mod 37));
+               Asn.of_int (65000 + (i mod 997))
+             ])
+        ~next_hop:(Ipv4.of_int (0x0A010001 + (i mod 20)))
+        ()
+    in
+    let p = Prefix.make (Ipv4.of_int (0x0400_0000 lor (i lsl 10))) 22 in
+    Buffer.add_bytes sb
+      (Wire.encode opts
+         (Peering_bgp.Message.update_of_announce p attrs))
+  done;
+  let stream = Buffer.to_bytes sb in
+  let walk decode =
+    let t0 = Unix.gettimeofday () in
+    let n = ref 0 and pos = ref 0 in
+    let total = Bytes.length stream in
+    while !pos < total do
+      match decode opts stream ~pos:!pos with
+      | Ok (_, next) ->
+        incr n;
+        pos := next
+      | Error e -> failwith (Wire.error_to_string e)
+    done;
+    (!n, Unix.gettimeofday () -. t0)
+  in
+  let n_cursor, t_cursor = walk Wire.decode in
+  let n_eager, t_eager = walk Wire.decode_eager in
+  assert (n_cursor = n_eager);
+  paper_vs_measured ~label:"UPDATE decode, cursor path" ~paper:"n/a"
+    ~measured:
+      (Printf.sprintf "%.0fk msgs/s (%d msgs, %.2fs)"
+         (float_of_int n_cursor /. t_cursor /. 1000.0)
+         n_cursor t_cursor);
+  paper_vs_measured ~label:"UPDATE decode, eager reference" ~paper:"n/a"
+    ~measured:
+      (Printf.sprintf "%.0fk msgs/s (cursor is %.2fx)"
+         (float_of_int n_eager /. t_eager /. 1000.0)
+         (t_eager /. t_cursor))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let bechamel () =
@@ -818,7 +986,7 @@ let bechamel () =
 let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("f2", f2); ("e4", e4); ("t1", t1);
     ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6);
-    ("prop", prop); ("chaos", chaos) ]
+    ("prop", prop); ("chaos", chaos); ("mrt", mrt) ]
 
 module Json = Peering_obs.Json
 module Metrics = Peering_obs.Metrics

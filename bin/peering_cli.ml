@@ -32,14 +32,26 @@ let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let scale_arg =
-  let doc = "World scale: 'small' (~3.4K ASes) or 'paper' (~46K ASes)." in
+  let doc =
+    "World scale: 'tiny' (~70 ASes), 'small' (~3.4K ASes) or 'paper' \
+     (~46K ASes)."
+  in
   Arg.(value & opt string "small" & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let params_of ~seed ~scale =
   match scale with
   | "paper" -> { Gen.paper_scale_params with Gen.seed }
   | "small" -> { Gen.default_params with Gen.seed }
-  | s -> invalid_arg (Printf.sprintf "unknown scale %S (small|paper)" s)
+  | "tiny" ->
+    { Gen.seed;
+      Gen.n_tier1 = 4;
+      Gen.n_large_transit = 6;
+      Gen.n_small_transit = 12;
+      Gen.n_stub = 40;
+      Gen.n_content = 6;
+      Gen.target_prefixes = 150
+    }
+  | s -> invalid_arg (Printf.sprintf "unknown scale %S (tiny|small|paper)" s)
 
 (* ------------------------------------------------------------------ *)
 
@@ -889,6 +901,120 @@ let portal_cmd =
        ~doc:"Walk the account/vetting/provisioning pipeline end to end")
     Term.(const run $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* MRT ingest: dump seeded worlds as RouteViews-style files, inspect
+   them, and replay them into a mux-style table. *)
+
+module Mrt = Peering_measure.Mrt
+
+let write_file_bytes path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let read_file_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let mrt_file_arg =
+  let doc = "MRT file to read." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let mrt_dump_cmd =
+  let out_arg =
+    let doc = "Output file for the dump." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let peers_arg =
+    let doc = "Collector peers in the index table." in
+    Arg.(value & opt int 8 & info [ "peers" ] ~docv:"N" ~doc)
+  in
+  let updates_arg =
+    let doc = "Append a BGP4MP update stream after the RIB records." in
+    Arg.(value & flag & info [ "updates" ] ~doc)
+  in
+  let limit_arg =
+    let doc = "Cap the update stream at N prefixes." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run seed scale out peers updates limit =
+    let w = Gen.generate (params_of ~seed ~scale) in
+    let records = Mrt.table_of_world ~seed ~peers w in
+    let records =
+      if updates then records @ Mrt.updates_of_world ~seed ?limit w
+      else records
+    in
+    let bytes = Mrt.encode records in
+    write_file_bytes out bytes;
+    (match Mrt.summarize bytes with
+    | Ok s -> Format.printf "%a@." Mrt.pp_summary s
+    | Error e -> failwith (Mrt.error_to_string e));
+    Format.printf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:
+         "Generate an MRT (RFC 6396) TABLE_DUMP_V2 RIB dump of a seeded \
+          world, optionally followed by a BGP4MP update stream. Same seed, \
+          same bytes.")
+    Term.(
+      const run $ seed_arg $ scale_arg $ out_arg $ peers_arg $ updates_arg
+      $ limit_arg)
+
+let mrt_info_cmd =
+  let run file =
+    match Mrt.summarize (read_file_bytes file) with
+    | Ok s -> Format.printf "%a@." Mrt.pp_summary s
+    | Error e ->
+      Format.eprintf "error: %s@." (Mrt.error_to_string e);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Decode an MRT file and print record/peer/entry counts")
+    Term.(const run $ mrt_file_arg)
+
+let mrt_replay_cmd =
+  let run file =
+    let bytes = read_file_bytes file in
+    match Mrt.load bytes with
+    | Error e ->
+      Format.eprintf "error: %s@." (Mrt.error_to_string e);
+      exit 1
+    | Ok l ->
+      let words = Obj.reachable_words (Obj.repr l.Mrt.rib) in
+      Format.printf "records            %d@." l.Mrt.records;
+      Format.printf "peers              %d@." (Array.length l.Mrt.peers);
+      Format.printf "v4 routes loaded   %d@." l.Mrt.routes4;
+      Format.printf "v6 entries parsed  %d@." l.Mrt.entries6;
+      Format.printf "updates applied    %d@." l.Mrt.updates;
+      Format.printf "table prefixes     %d@."
+        (Peering_bgp.Rib.prefix_count l.Mrt.rib);
+      Format.printf "table routes       %d@."
+        (Peering_bgp.Rib.route_count l.Mrt.rib);
+      Format.printf "table heap         %.1f MB@."
+        (float_of_int (words * Sys.word_size / 8) /. 1_048_576.)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay an MRT file into a mux-style table: RIB entries install \
+          as per-peer Adj-RIB-In routes, BGP4MP UPDATEs apply as \
+          announces/withdraws")
+    Term.(const run $ mrt_file_arg)
+
+let mrt_cmd =
+  Cmd.group
+    (Cmd.info "mrt"
+       ~doc:
+         "MRT (RFC 6396) ingest: dump seeded worlds, inspect and replay \
+          RouteViews-style files")
+    [ mrt_dump_cmd; mrt_info_cmd; mrt_replay_cmd ]
+
 let () =
   let info =
     Cmd.info "peering" ~version:"1.0.0"
@@ -899,4 +1025,4 @@ let () =
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
             config_cmd; check_cmd; verify_cmd; portal_cmd; stats_cmd;
-            trace_cmd; chaos_cmd ]))
+            trace_cmd; chaos_cmd; mrt_cmd ]))

@@ -11,6 +11,8 @@ type open_msg = {
 }
 
 type path_id = int
+(** RFC 7911 ADD-PATH identifier; 0 when the session does not
+    negotiate add-path. *)
 
 type update = {
   withdrawn : (path_id * Prefix.t) list;
@@ -18,17 +20,20 @@ type update = {
   nlri : (path_id * Prefix.t) list;
 }
 
+(** A NOTIFICATION body: error code, subcode, and optional data
+    rendered as text (RFC 4271 §4.5). *)
 type notification = {
   code : int;
   subcode : int;
   reason : string;
 }
 
+(** The four BGP-4 message kinds. *)
 type t =
-  | Open of open_msg
-  | Update of update
-  | Keepalive
-  | Notification of notification
+  | Open of open_msg  (** session establishment (§4.2) *)
+  | Update of update  (** route advertisement/withdrawal (§4.3) *)
+  | Keepalive  (** hold-timer refresh (§4.4) *)
+  | Notification of notification  (** error + session teardown (§4.5) *)
 
 (** Standard notification error codes (RFC 4271 §4.5). *)
 module Error : sig
@@ -41,5 +46,10 @@ module Error : sig
 end
 
 val update_of_announce : ?path_id:path_id -> Prefix.t -> Attrs.t -> t
+(** A single-prefix announcement UPDATE. *)
+
 val update_of_withdraw : ?path_id:path_id -> Prefix.t -> t
+(** A single-prefix withdrawal UPDATE (no attributes). *)
+
 val pp : Format.formatter -> t -> unit
+(** One-line human rendering for logs and test failures. *)

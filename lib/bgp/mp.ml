@@ -14,7 +14,8 @@ let mp_reach_code = 14
 let mp_unreach_code = 15
 
 (* ------------------------------------------------------------------ *)
-(* Byte helpers (self-contained; the v4 codec keeps its own). *)
+(* Byte helpers.  Reads go through the shared Wire.Cursor; the Buffer
+   writers stay local (the v4 codec keeps its own too). *)
 
 let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
 
@@ -49,42 +50,28 @@ let put_prefix6 b p =
     put_u8 b byte
   done
 
-type reader = { buf : bytes; mutable pos : int; limit : int }
+module Cursor = Wire.Cursor
 
-exception Fail of Wire.error
-
-let need r n = if r.pos + n > r.limit then raise (Fail Wire.Truncated)
-
-let u8 r =
-  need r 1;
-  let v = Char.code (Bytes.get r.buf r.pos) in
-  r.pos <- r.pos + 1;
-  v
-
-let u16 r =
-  let hi = u8 r in
-  let lo = u8 r in
-  (hi lsl 8) lor lo
-
-let u64 r =
+let u64 c =
   let v = ref 0L in
   for _ = 1 to 8 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (u8 r))
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Cursor.u8 c))
   done;
   !v
 
-let get_ipv6 r =
-  let hi = u64 r in
-  let lo = u64 r in
+let read_ipv6 c =
+  let hi = u64 c in
+  let lo = u64 c in
   Ipv6.make hi lo
 
-let get_prefix6 r =
-  let len = u8 r in
-  if len > 128 then raise (Fail (Wire.Bad_attribute "v6 prefix length > 128"));
+let read_prefix6 c =
+  let len = Cursor.u8 c in
+  if len > 128 then
+    raise (Wire.Error (Wire.Bad_attribute "v6 prefix length > 128"));
   let nbytes = (len + 7) / 8 in
   let hi = ref 0L and lo = ref 0L in
   for i = 0 to nbytes - 1 do
-    let byte = Int64.of_int (u8 r) in
+    let byte = Int64.of_int (Cursor.u8 c) in
     if i < 8 then hi := Int64.logor !hi (Int64.shift_left byte (56 - (8 * i)))
     else lo := Int64.logor !lo (Int64.shift_left byte (56 - (8 * (i - 8))))
   done;
@@ -183,28 +170,26 @@ let decode opts buf =
         (Char.code (Bytes.get buf attrs_at) lsl 8)
         lor Char.code (Bytes.get buf (attrs_at + 1))
       in
-      let r = { buf; pos = attrs_at + 2; limit = attrs_at + 2 + attrs_len } in
+      let r = Cursor.of_bytes ~pos:(attrs_at + 2) ~len:attrs_len buf in
       let found = ref None in
-      while r.pos < r.limit do
-        let flags = u8 r in
-        let code = u8 r in
-        let len = if flags land 0x10 <> 0 then u16 r else u8 r in
-        need r len;
-        let sub = { buf; pos = r.pos; limit = r.pos + len } in
-        r.pos <- r.pos + len;
+      while Cursor.remaining r > 0 do
+        let flags = Cursor.u8 r in
+        let code = Cursor.u8 r in
+        let len = if flags land 0x10 <> 0 then Cursor.u16 r else Cursor.u8 r in
+        let sub = Cursor.slice r len in
         if code = mp_reach_code then begin
-          let afi = u16 sub in
-          let safi = u8 sub in
+          let afi = Cursor.u16 sub in
+          let safi = Cursor.u8 sub in
           if afi <> afi_ipv6 || safi <> safi_unicast then
-            raise (Fail (Wire.Bad_attribute "unsupported AFI/SAFI"));
-          let nh_len = u8 sub in
+            raise (Wire.Error (Wire.Bad_attribute "unsupported AFI/SAFI"));
+          let nh_len = Cursor.u8 sub in
           if nh_len <> 16 then
-            raise (Fail (Wire.Bad_attribute "bad v6 next-hop length"));
-          let next_hop = get_ipv6 sub in
-          let _reserved = u8 sub in
+            raise (Wire.Error (Wire.Bad_attribute "bad v6 next-hop length"));
+          let next_hop = read_ipv6 sub in
+          let _reserved = Cursor.u8 sub in
           let nlri = ref [] in
-          while sub.pos < sub.limit do
-            nlri := get_prefix6 sub :: !nlri
+          while Cursor.remaining sub > 0 do
+            nlri := read_prefix6 sub :: !nlri
           done;
           let attrs =
             Option.value u.Message.attrs
@@ -213,13 +198,13 @@ let decode opts buf =
           found := Some (Reach { attrs; next_hop; nlri = List.rev !nlri })
         end
         else if code = mp_unreach_code then begin
-          let afi = u16 sub in
-          let safi = u8 sub in
+          let afi = Cursor.u16 sub in
+          let safi = Cursor.u8 sub in
           if afi <> afi_ipv6 || safi <> safi_unicast then
-            raise (Fail (Wire.Bad_attribute "unsupported AFI/SAFI"));
+            raise (Wire.Error (Wire.Bad_attribute "unsupported AFI/SAFI"));
           let prefixes = ref [] in
-          while sub.pos < sub.limit do
-            prefixes := get_prefix6 sub :: !prefixes
+          while Cursor.remaining sub > 0 do
+            prefixes := read_prefix6 sub :: !prefixes
           done;
           found := Some (Unreach (List.rev !prefixes))
         end
@@ -227,7 +212,7 @@ let decode opts buf =
       match !found with
       | Some m -> Ok m
       | None -> Error (Wire.Bad_attribute "no MP attribute present")
-    with Fail e -> Error e)
+    with Wire.Error e -> Error e)
 
 let announce ?attrs ~next_hop nlri =
   let attrs =

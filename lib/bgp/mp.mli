@@ -19,9 +19,11 @@ type reach = {
   nlri : Prefix6.t list;
 }
 
+(** A v6 routing change: reachability via MP_REACH_NLRI or withdrawal
+    via MP_UNREACH_NLRI. *)
 type update6 =
-  | Reach of reach
-  | Unreach of Prefix6.t list
+  | Reach of reach  (** announce [nlri] with a v6 next hop *)
+  | Unreach of Prefix6.t list  (** withdraw these prefixes *)
 
 val encode : Wire.session_opts -> update6 -> bytes
 (** Serialise as a complete BGP UPDATE message (19-byte header
@@ -37,3 +39,23 @@ val announce : ?attrs:Attrs.t -> next_hop:Ipv6.t -> Prefix6.t list -> update6
     empty AS path. *)
 
 val withdraw : Prefix6.t list -> update6
+(** [withdraw prefixes] is [Unreach prefixes]. *)
+
+(** {1 IPv6 byte helpers}
+
+    Shared with the MRT codec, which encodes v6 prefixes and next hops
+    in exactly the NLRI shapes used here. *)
+
+val put_ipv6 : Buffer.t -> Ipv6.t -> unit
+(** Append the 16 bytes of a v6 address, network order. *)
+
+val put_prefix6 : Buffer.t -> Prefix6.t -> unit
+(** Append one NLRI-encoded v6 prefix (length byte + minimal address
+    bytes). *)
+
+val read_ipv6 : Wire.Cursor.t -> Ipv6.t
+(** Read a 16-byte v6 address; raises {!Wire.Error}. *)
+
+val read_prefix6 : Wire.Cursor.t -> Prefix6.t
+(** Read one NLRI-encoded v6 prefix; raises {!Wire.Error}.  Inverse of
+    {!put_prefix6}. *)

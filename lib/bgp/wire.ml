@@ -22,6 +22,8 @@ let error_to_string = function
   | Bad_attribute s -> Printf.sprintf "bad attribute: %s" s
   | Bad_capability s -> Printf.sprintf "bad capability: %s" s
 
+exception Error of error
+
 let as_trans = 23456
 
 (* ------------------------------------------------------------------ *)
@@ -53,6 +55,8 @@ let put_prefix opts b (path_id, p) =
     put_u8 b ((a lsr (24 - (8 * i))) land 0xFF)
   done
 
+let encode_prefix b p = put_prefix default_opts b (0, p)
+
 let put_as_path opts b path =
   List.iter
     (fun seg ->
@@ -75,7 +79,7 @@ let put_attribute b ~flags ~code body =
   if flags land 0x10 <> 0 then put_u16 b len else put_u8 b len;
   Buffer.add_buffer b body
 
-let encode_attrs opts (a : Attrs.t) =
+let attrs_buffer ?(with_next_hop = true) opts (a : Attrs.t) =
   let b = Buffer.create 64 in
   (* ORIGIN, well-known mandatory *)
   let body = Buffer.create 1 in
@@ -85,10 +89,13 @@ let encode_attrs opts (a : Attrs.t) =
   let body = Buffer.create 16 in
   put_as_path opts body a.as_path;
   put_attribute b ~flags:0x40 ~code:2 body;
-  (* NEXT_HOP *)
-  let body = Buffer.create 4 in
-  put_u32 body (Ipv4.to_int a.next_hop);
-  put_attribute b ~flags:0x40 ~code:3 body;
+  (* NEXT_HOP — omitted for MRT RIB_IPV6 entries, where reachability
+     lives in an abbreviated MP_REACH_NLRI instead (RFC 6396 §4.3.4) *)
+  if with_next_hop then begin
+    let body = Buffer.create 4 in
+    put_u32 body (Ipv4.to_int a.next_hop);
+    put_attribute b ~flags:0x40 ~code:3 body
+  end;
   (* MED, optional non-transitive *)
   Option.iter
     (fun med ->
@@ -118,6 +125,9 @@ let encode_attrs opts (a : Attrs.t) =
     put_attribute b ~flags:0xC0 ~code:8 body
   end;
   b
+
+let encode_attrs ?with_next_hop opts a =
+  Buffer.to_bytes (attrs_buffer ?with_next_hop opts a)
 
 let encode_capability b (cap : Capability.t) =
   match cap with
@@ -170,7 +180,7 @@ let encode_update opts (u : Message.update) =
   Buffer.add_buffer b withdrawn;
   let attrs =
     match u.attrs with
-    | Some a -> encode_attrs opts a
+    | Some a -> attrs_buffer opts a
     | None -> Buffer.create 0
   in
   put_u16 b (Buffer.length attrs);
@@ -203,61 +213,90 @@ let encode opts msg =
   Buffer.to_bytes b
 
 (* ------------------------------------------------------------------ *)
-(* Decoding *)
+(* Cursor: the shared bounds-checked window both decoders read through. *)
 
-exception Fail of error
+module Cursor = struct
+  type t = { buf : bytes; mutable pos : int; limit : int }
 
-type reader = { buf : bytes; mutable pos : int; limit : int }
+  let of_bytes ?(pos = 0) ?len buf =
+    let total = Bytes.length buf in
+    let limit = match len with None -> total | Some n -> pos + n in
+    if pos < 0 || pos > limit || limit > total then
+      invalid_arg "Wire.Cursor.of_bytes";
+    { buf; pos; limit }
 
-let need r n = if r.pos + n > r.limit then raise (Fail Truncated)
+  let pos c = c.pos
+  let remaining c = c.limit - c.pos
+  let need c n = if c.pos + n > c.limit then raise (Error Truncated)
 
-let u8 r =
-  need r 1;
-  let v = Char.code (Bytes.get r.buf r.pos) in
-  r.pos <- r.pos + 1;
-  v
+  let u8 c =
+    need c 1;
+    let v = Char.code (Bytes.get c.buf c.pos) in
+    c.pos <- c.pos + 1;
+    v
 
-let u16 r =
-  let hi = u8 r in
-  let lo = u8 r in
-  (hi lsl 8) lor lo
+  let u16 c =
+    let hi = u8 c in
+    let lo = u8 c in
+    (hi lsl 8) lor lo
 
-let u32 r =
-  let hi = u16 r in
-  let lo = u16 r in
-  (hi lsl 16) lor lo
+  let u32 c =
+    let hi = u16 c in
+    let lo = u16 c in
+    (hi lsl 16) lor lo
 
-let get_asn opts r = Asn.of_int (if opts.four_octet_asn then u32 r else u16 r)
+  let skip c n =
+    need c n;
+    c.pos <- c.pos + n
 
-let get_prefix opts r =
-  let path_id = if opts.add_path then u32 r else 0 in
-  let l = u8 r in
-  if l > 32 then raise (Fail (Bad_attribute "prefix length > 32"));
+  let slice c n =
+    need c n;
+    let sub = { buf = c.buf; pos = c.pos; limit = c.pos + n } in
+    c.pos <- c.pos + n;
+    sub
+
+  let rest c = Bytes.sub c.buf c.pos (remaining c)
+  let rest_string c = Bytes.sub_string c.buf c.pos (remaining c)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Shared sub-parsers: both the eager decoder and the lazy views call
+   exactly these, so a given byte span maps to one (value | error). *)
+
+let get_asn opts c =
+  Asn.of_int (if opts.four_octet_asn then Cursor.u32 c else Cursor.u16 c)
+
+let get_prefix opts c =
+  let path_id = if opts.add_path then Cursor.u32 c else 0 in
+  let l = Cursor.u8 c in
+  if l > 32 then raise (Error (Bad_attribute "prefix length > 32"));
   let nbytes = prefix_byte_len l in
   let a = ref 0 in
   for i = 0 to nbytes - 1 do
-    a := !a lor (u8 r lsl (24 - (8 * i)))
+    a := !a lor (Cursor.u8 c lsl (24 - (8 * i)))
   done;
   (path_id, Prefix.make (Ipv4.of_int !a) l)
 
-let get_prefixes opts r =
+let read_prefix c = snd (get_prefix default_opts c)
+
+let get_prefixes opts c =
   let acc = ref [] in
-  while r.pos < r.limit do
-    acc := get_prefix opts r :: !acc
+  while Cursor.remaining c > 0 do
+    acc := get_prefix opts c :: !acc
   done;
   List.rev !acc
 
-let get_as_path opts r =
+let get_as_path opts c =
   let segs = ref [] in
-  while r.pos < r.limit do
-    let ty = u8 r in
-    let n = u8 r in
-    let asns = List.init n (fun _ -> get_asn opts r) in
+  while Cursor.remaining c > 0 do
+    let ty = Cursor.u8 c in
+    let n = Cursor.u8 c in
+    let asns = List.init n (fun _ -> get_asn opts c) in
     let seg =
       match ty with
       | 1 -> As_path.Set asns
       | 2 -> As_path.Seq asns
-      | t -> raise (Fail (Bad_attribute (Printf.sprintf "segment type %d" t)))
+      | t -> raise (Error (Bad_attribute (Printf.sprintf "segment type %d" t)))
     in
     segs := seg :: !segs
   done;
@@ -274,7 +313,7 @@ type partial_attrs = {
   mutable p_communities : Community.t list;
 }
 
-let decode_attrs opts r =
+let get_attrs ?(require_next_hop = true) opts c =
   let p =
     { p_origin = None;
       p_as_path = None;
@@ -286,98 +325,99 @@ let decode_attrs opts r =
       p_communities = []
     }
   in
-  while r.pos < r.limit do
-    let flags = u8 r in
-    let code = u8 r in
-    let len = if flags land 0x10 <> 0 then u16 r else u8 r in
-    need r len;
-    let sub = { buf = r.buf; pos = r.pos; limit = r.pos + len } in
-    r.pos <- r.pos + len;
-    (match code with
+  while Cursor.remaining c > 0 do
+    let flags = Cursor.u8 c in
+    let code = Cursor.u8 c in
+    let len = if flags land 0x10 <> 0 then Cursor.u16 c else Cursor.u8 c in
+    let sub = Cursor.slice c len in
+    match code with
     | 1 ->
       p.p_origin <-
         Some
-          (match u8 sub with
+          (match Cursor.u8 sub with
           | 0 -> Attrs.IGP
           | 1 -> Attrs.EGP
           | 2 -> Attrs.INCOMPLETE
-          | o -> raise (Fail (Bad_attribute (Printf.sprintf "origin %d" o))))
+          | o -> raise (Error (Bad_attribute (Printf.sprintf "origin %d" o))))
     | 2 -> p.p_as_path <- Some (get_as_path opts sub)
-    | 3 -> p.p_next_hop <- Some (Ipv4.of_int (u32 sub))
-    | 4 -> p.p_med <- Some (u32 sub)
-    | 5 -> p.p_local_pref <- Some (u32 sub)
+    | 3 -> p.p_next_hop <- Some (Ipv4.of_int (Cursor.u32 sub))
+    | 4 -> p.p_med <- Some (Cursor.u32 sub)
+    | 5 -> p.p_local_pref <- Some (Cursor.u32 sub)
     | 6 -> p.p_atomic <- true
     | 7 ->
       let asn = get_asn opts sub in
-      let addr = Ipv4.of_int (u32 sub) in
+      let addr = Ipv4.of_int (Cursor.u32 sub) in
       p.p_aggregator <- Some (asn, addr)
     | 8 ->
       let cs = ref [] in
-      while sub.pos < sub.limit do
-        cs := Community.of_int32 (u32 sub) :: !cs
+      while Cursor.remaining sub > 0 do
+        cs := Community.of_int32 (Cursor.u32 sub) :: !cs
       done;
       p.p_communities <- List.rev !cs
     | _ when flags land 0x80 <> 0 -> () (* skip unknown optional *)
-    | c -> raise (Fail (Bad_attribute (Printf.sprintf "unknown mandatory %d" c))))
+    | c -> raise (Error (Bad_attribute (Printf.sprintf "unknown mandatory %d" c)))
   done;
-  match (p.p_origin, p.p_as_path, p.p_next_hop) with
-  | Some origin, Some as_path, Some next_hop ->
+  let build ~next_hop origin as_path =
     Some
       (Attrs.make ~origin ~as_path ?med:p.p_med ?local_pref:p.p_local_pref
          ~atomic_aggregate:p.p_atomic ?aggregator:p.p_aggregator
          ~communities:p.p_communities ~next_hop ())
+  in
+  match (p.p_origin, p.p_as_path, p.p_next_hop) with
+  | Some origin, Some as_path, Some next_hop -> build ~next_hop origin as_path
+  | Some origin, Some as_path, None when not require_next_hop ->
+    (* MRT RIB_IPV6 entries: reachability is in MP_REACH_NLRI, not a
+       NEXT_HOP attribute; the v4 slot is filled with 0.0.0.0. *)
+    build ~next_hop:(Ipv4.of_int 0) origin as_path
   | None, None, None ->
     (* Only optional attributes (e.g. MP_REACH/MP_UNREACH, RFC 4760):
        legal for an UPDATE without v4 NLRI. *)
     None
-  | None, _, _ -> raise (Fail (Bad_attribute "missing ORIGIN"))
-  | _, None, _ -> raise (Fail (Bad_attribute "missing AS_PATH"))
-  | _, _, None -> raise (Fail (Bad_attribute "missing NEXT_HOP"))
+  | None, _, _ -> raise (Error (Bad_attribute "missing ORIGIN"))
+  | _, None, _ -> raise (Error (Bad_attribute "missing AS_PATH"))
+  | _, _, None -> raise (Error (Bad_attribute "missing NEXT_HOP"))
 
-let decode_capability r =
-  let code = u8 r in
-  let len = u8 r in
-  need r len;
-  let sub = { buf = r.buf; pos = r.pos; limit = r.pos + len } in
-  r.pos <- r.pos + len;
+let decode_attrs ?require_next_hop opts c =
+  try Ok (get_attrs ?require_next_hop opts c) with Error e -> Result.Error e
+
+let decode_capability c =
+  let code = Cursor.u8 c in
+  let len = Cursor.u8 c in
+  let sub = Cursor.slice c len in
   match code with
   | 2 -> Some Capability.Route_refresh
-  | 64 -> Some (Capability.Graceful_restart (u16 sub land 0x0FFF))
-  | 65 -> Some (Capability.Four_octet_asn (u32 sub))
+  | 64 -> Some (Capability.Graceful_restart (Cursor.u16 sub land 0x0FFF))
+  | 65 -> Some (Capability.Four_octet_asn (Cursor.u32 sub))
   | 69 ->
-    let _afi = u16 sub in
-    let _safi = u8 sub in
+    let _afi = Cursor.u16 sub in
+    let _safi = Cursor.u8 sub in
     let mode =
-      match u8 sub with
+      match Cursor.u8 sub with
       | 1 -> Capability.Receive
       | 2 -> Capability.Send
       | 3 -> Capability.Send_receive
-      | m -> raise (Fail (Bad_capability (Printf.sprintf "add-path mode %d" m)))
+      | m -> raise (Error (Bad_capability (Printf.sprintf "add-path mode %d" m)))
     in
     Some (Capability.Add_path mode)
   | _ -> None (* ignore unknown capabilities *)
 
-let decode_open r =
-  let version = u8 r in
-  if version <> 4 then raise (Fail (Bad_version version));
-  let asn16 = u16 r in
-  let hold_time = u16 r in
-  let router_id = Ipv4.of_int (u32 r) in
-  let opt_len = u8 r in
-  need r opt_len;
-  let params = { buf = r.buf; pos = r.pos; limit = r.pos + opt_len } in
-  r.pos <- r.pos + opt_len;
+let decode_open c : Message.open_msg =
+  let version = Cursor.u8 c in
+  if version <> 4 then raise (Error (Bad_version version));
+  let asn16 = Cursor.u16 c in
+  let hold_time = Cursor.u16 c in
+  let router_id = Ipv4.of_int (Cursor.u32 c) in
+  let opt_len = Cursor.u8 c in
+  let params = Cursor.slice c opt_len in
   let caps = ref [] in
-  while params.pos < params.limit do
-    let pty = u8 params in
-    let plen = u8 params in
-    need params plen;
-    let sub = { buf = params.buf; pos = params.pos; limit = params.pos + plen } in
-    params.pos <- params.pos + plen;
+  while Cursor.remaining params > 0 do
+    let pty = Cursor.u8 params in
+    let plen = Cursor.u8 params in
+    let sub = Cursor.slice params plen in
     if pty = 2 then
-      while sub.pos < sub.limit do
+      while Cursor.remaining sub > 0 do
         match decode_capability sub with
-        | Some c -> caps := c :: !caps
+        | Some cap -> caps := cap :: !caps
         | None -> ()
       done
   done;
@@ -392,59 +432,234 @@ let decode_open r =
     | Some a -> Asn.of_int a
     | None -> Asn.of_int asn16
   in
-  Message.Open { version; asn; hold_time; router_id; capabilities }
+  { version; asn; hold_time; router_id; capabilities }
 
-let decode_update opts r =
-  let wlen = u16 r in
-  need r wlen;
-  let wsub = { buf = r.buf; pos = r.pos; limit = r.pos + wlen } in
-  r.pos <- r.pos + wlen;
+let decode_notification c : Message.notification =
+  let code = Cursor.u8 c in
+  let subcode = Cursor.u8 c in
+  let reason = Cursor.rest_string c in
+  Message.{ code; subcode; reason }
+
+(* ------------------------------------------------------------------ *)
+(* Eager decoding: the retained linear reference implementation. *)
+
+let decode_update_eager opts c =
+  let wlen = Cursor.u16 c in
+  let wsub = Cursor.slice c wlen in
   let withdrawn = get_prefixes opts wsub in
-  let alen = u16 r in
-  need r alen;
-  let asub = { buf = r.buf; pos = r.pos; limit = r.pos + alen } in
-  r.pos <- r.pos + alen;
-  let attrs = if alen = 0 then None else decode_attrs opts asub in
-  let nlri = get_prefixes opts r in
+  let alen = Cursor.u16 c in
+  let asub = Cursor.slice c alen in
+  let attrs = if alen = 0 then None else get_attrs opts asub in
+  let nlri = get_prefixes opts c in
   if nlri <> [] && attrs = None then
-    raise (Fail (Bad_attribute "NLRI without path attributes"));
+    raise (Error (Bad_attribute "NLRI without path attributes"));
   Message.Update { withdrawn; attrs; nlri }
 
-let decode_notification r =
-  let code = u8 r in
-  let subcode = u8 r in
-  let reason = Bytes.sub_string r.buf r.pos (r.limit - r.pos) in
-  r.pos <- r.limit;
-  Message.Notification { code; subcode; reason }
+(* Header validation shared by both decode paths: returns the message
+   type and a cursor over the body, or raises. *)
+let check_header buf ~pos =
+  let total = Bytes.length buf in
+  if pos + 19 > total then raise (Error Truncated);
+  for i = pos to pos + 15 do
+    if Bytes.get buf i <> '\xFF' then raise (Error Bad_marker)
+  done;
+  let hdr = Cursor.of_bytes ~pos:(pos + 16) buf in
+  let len = Cursor.u16 hdr in
+  if len < 19 || len > 4096 then raise (Error (Bad_length len));
+  if pos + len > total then raise (Error Truncated);
+  let ty = Cursor.u8 hdr in
+  (ty, len)
 
-let decode opts buf ~pos =
+let decode_eager opts buf ~pos =
   try
-    let total = Bytes.length buf in
-    if pos + 19 > total then raise (Fail Truncated);
-    for i = pos to pos + 15 do
-      if Bytes.get buf i <> '\xFF' then raise (Fail Bad_marker)
-    done;
-    let hdr = { buf; pos = pos + 16; limit = total } in
-    let len = u16 hdr in
-    if len < 19 || len > 4096 then raise (Fail (Bad_length len));
-    if pos + len > total then raise (Fail Truncated);
-    let ty = u8 hdr in
-    let r = { buf; pos = pos + 19; limit = pos + len } in
+    let ty, len = check_header buf ~pos in
+    let c = Cursor.of_bytes ~pos:(pos + 19) ~len:(len - 19) buf in
     let msg =
       match ty with
-      | 1 -> decode_open r
-      | 2 -> decode_update opts r
-      | 3 -> decode_notification r
+      | 1 -> Message.Open (decode_open c)
+      | 2 -> decode_update_eager opts c
+      | 3 -> Message.Notification (decode_notification c)
       | 4 ->
-        if len <> 19 then raise (Fail (Bad_length len));
+        if len <> 19 then raise (Error (Bad_length len));
         Message.Keepalive
-      | t -> raise (Fail (Bad_type t))
+      | t -> raise (Error (Bad_type t))
     in
     Ok (msg, pos + len)
-  with Fail e -> Error e
+  with Error e -> Result.Error e
+
+(* ------------------------------------------------------------------ *)
+(* Lazy views: zero-copy message windows over a shared buffer.  An
+   UPDATE view keeps only (buffer, offset, length); each section is
+   parsed on first access and memoized.  Forcing replays the same
+   cursor reads, in the same order, over the same spans as the eager
+   decoder, so the two paths agree on every input — including the
+   error produced for corrupt frames. *)
+
+type span = { s_buf : bytes; s_pos : int; s_len : int }
+
+let cursor_of_span s = Cursor.of_bytes ~pos:s.s_pos ~len:s.s_len s.s_buf
+
+type update_view = {
+  u_opts : session_opts;
+  u_body : span;
+  mutable u_withdrawn : ((Message.path_id * Prefix.t) list, error) result option;
+  mutable u_attrs : (Attrs.t option, error) result option;
+  mutable u_nlri : ((Message.path_id * Prefix.t) list, error) result option;
+  mutable u_index : ((int * int * span) list, error) result option;
+}
+
+type view =
+  | Open_v of Message.open_msg
+  | Update_v of update_view
+  | Notification_v of Message.notification
+  | Keepalive_v
+
+let run f = try Ok (f ()) with Error e -> Result.Error e
+
+module Update_view = struct
+  let withdrawn v =
+    match v.u_withdrawn with
+    | Some r -> r
+    | None ->
+      let r =
+        run (fun () ->
+            let c = cursor_of_span v.u_body in
+            let wlen = Cursor.u16 c in
+            get_prefixes v.u_opts (Cursor.slice c wlen))
+      in
+      v.u_withdrawn <- Some r;
+      r
+
+  (* Skip to and slice the attribute section; raises on truncation. *)
+  let attrs_cursor v =
+    let c = cursor_of_span v.u_body in
+    let wlen = Cursor.u16 c in
+    Cursor.skip c wlen;
+    let alen = Cursor.u16 c in
+    Cursor.slice c alen
+
+  let attrs v =
+    match v.u_attrs with
+    | Some r -> r
+    | None ->
+      let r =
+        run (fun () ->
+            let a = attrs_cursor v in
+            if Cursor.remaining a = 0 then None else get_attrs v.u_opts a)
+      in
+      v.u_attrs <- Some r;
+      r
+
+  let nlri v =
+    match v.u_nlri with
+    | Some r -> r
+    | None ->
+      let r =
+        run (fun () ->
+            let c = cursor_of_span v.u_body in
+            let wlen = Cursor.u16 c in
+            Cursor.skip c wlen;
+            let alen = Cursor.u16 c in
+            Cursor.skip c alen;
+            get_prefixes v.u_opts c)
+      in
+      v.u_nlri <- Some r;
+      r
+
+  (* Attribute TLV index: offsets only, no body decoding. *)
+  let index v =
+    match v.u_index with
+    | Some r -> r
+    | None ->
+      let r =
+        run (fun () ->
+            let a = attrs_cursor v in
+            let acc = ref [] in
+            while Cursor.remaining a > 0 do
+              let flags = Cursor.u8 a in
+              let code = Cursor.u8 a in
+              let len =
+                if flags land 0x10 <> 0 then Cursor.u16 a else Cursor.u8 a
+              in
+              let body = Cursor.slice a len in
+              acc :=
+                ( flags,
+                  code,
+                  { s_buf = body.Cursor.buf;
+                    s_pos = body.Cursor.pos;
+                    s_len = len
+                  } )
+                :: !acc
+            done;
+            List.rev !acc)
+      in
+      v.u_index <- Some r;
+      r
+
+  let attr_raw v ~code =
+    match index v with
+    | Result.Error e -> Result.Error e
+    | Ok tlvs -> (
+      match List.find_opt (fun (_, c, _) -> c = code) tlvs with
+      | None -> Ok None
+      | Some (_, _, s) -> Ok (Some (Bytes.sub s.s_buf s.s_pos s.s_len)))
+end
+
+let view opts buf ~pos =
+  try
+    let ty, len = check_header buf ~pos in
+    let body = { s_buf = buf; s_pos = pos + 19; s_len = len - 19 } in
+    let v =
+      match ty with
+      | 1 -> Open_v (decode_open (cursor_of_span body))
+      | 2 ->
+        Update_v
+          { u_opts = opts;
+            u_body = body;
+            u_withdrawn = None;
+            u_attrs = None;
+            u_nlri = None;
+            u_index = None
+          }
+      | 3 -> Notification_v (decode_notification (cursor_of_span body))
+      | 4 ->
+        if len <> 19 then raise (Error (Bad_length len));
+        Keepalive_v
+      | t -> raise (Error (Bad_type t))
+    in
+    Ok (v, pos + len)
+  with Error e -> Result.Error e
+
+let to_message = function
+  | Open_v o -> Ok (Message.Open o)
+  | Keepalive_v -> Ok Message.Keepalive
+  | Notification_v n -> Ok (Message.Notification n)
+  | Update_v v -> (
+    (* Force sections in the eager decoder's order so the first error
+       reported matches it exactly. *)
+    match Update_view.withdrawn v with
+    | Result.Error e -> Result.Error e
+    | Ok withdrawn -> (
+      match Update_view.attrs v with
+      | Result.Error e -> Result.Error e
+      | Ok attrs -> (
+        match Update_view.nlri v with
+        | Result.Error e -> Result.Error e
+        | Ok nlri ->
+          if nlri <> [] && attrs = None then
+            Result.Error (Bad_attribute "NLRI without path attributes")
+          else Ok (Message.Update { withdrawn; attrs; nlri }))))
+
+let decode opts buf ~pos =
+  match view opts buf ~pos with
+  | Result.Error e -> Result.Error e
+  | Ok (v, next) -> (
+    match to_message v with
+    | Ok msg -> Ok (msg, next)
+    | Result.Error e -> Result.Error e)
 
 let decode_exn opts buf =
   match decode opts buf ~pos:0 with
   | Ok (msg, n) when n = Bytes.length buf -> msg
   | Ok _ -> failwith "Wire.decode_exn: trailing bytes"
-  | Error e -> failwith ("Wire.decode_exn: " ^ error_to_string e)
+  | Result.Error e -> failwith ("Wire.decode_exn: " ^ error_to_string e)

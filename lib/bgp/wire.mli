@@ -3,7 +3,23 @@
 
     Whether ASNs occupy 2 or 4 bytes and whether NLRI carry path
     identifiers is session state negotiated via OPEN capabilities, so
-    both directions of the codec take explicit {!session_opts}. *)
+    both directions of the codec take explicit {!session_opts}.
+
+    The codec has two decode paths over one set of shared sub-parsers:
+
+    - {!decode_eager} — the linear reference decoder, which
+      materializes a {!Message.t} in one pass;
+    - {!view} / {!Update_view} — a zero-copy path that validates only
+      the 19-byte header up front and hands back a cursor-backed
+      window; UPDATE sections (withdrawn routes, path attributes,
+      NLRI) are parsed on first access and memoized.
+
+    {!decode} is the {!view}-based wrapper and must agree with
+    {!decode_eager} on every input, including the [error] value
+    produced for corrupt frames — the [@mrt-roundtrip] differential
+    alias enforces this over seeded corpora. *)
+
+open Peering_net
 
 type session_opts = {
   four_octet_asn : bool;  (** encode ASNs on 4 bytes in AS_PATH etc. *)
@@ -14,24 +30,166 @@ val default_opts : session_opts
 (** 2-byte ASNs, no ADD-PATH — what a pre-negotiation decoder assumes
     (OPEN messages themselves never depend on the options). *)
 
+(** Everything that can go wrong decoding a frame.  The fault
+    injector's corrupt-frame path relies on these exact values; see
+    [docs/WIRE.md] for the spec-side map. *)
 type error =
-  | Truncated
-  | Bad_marker
-  | Bad_length of int
-  | Bad_type of int
-  | Bad_version of int
-  | Bad_attribute of string
-  | Bad_capability of string
+  | Truncated  (** ran off the end of the buffer or a length field *)
+  | Bad_marker  (** the 16-byte marker is not all [0xFF] *)
+  | Bad_length of int  (** header length outside [19, 4096], or a
+                           KEEPALIVE that is not exactly 19 bytes *)
+  | Bad_type of int  (** unknown message type code *)
+  | Bad_version of int  (** OPEN with a version other than 4 *)
+  | Bad_attribute of string  (** malformed path-attribute section *)
+  | Bad_capability of string  (** malformed OPEN capability *)
 
 val error_to_string : error -> string
+(** Human-readable rendering used in NOTIFICATION reasons and logs. *)
+
+exception Error of error
+(** Raised by {!Cursor} reads that run out of bounds and by the
+    internal parsers; caught at every public [result]-returning
+    boundary. *)
+
+(** Bounds-checked read window over a shared byte buffer.  A cursor
+    never copies: slices alias the parent buffer, and every read is
+    checked against the window's limit, raising {!Error}[ Truncated]
+    on overrun.  This is the only way both decode paths touch bytes,
+    which is what makes their error behavior coincide. *)
+module Cursor : sig
+  type t
+  (** A mutable position within a fixed window of a byte buffer. *)
+
+  val of_bytes : ?pos:int -> ?len:int -> bytes -> t
+  (** [of_bytes ?pos ?len buf] is a cursor over [buf.[pos .. pos+len)];
+      [pos] defaults to 0 and [len] to the rest of the buffer.  Raises
+      [Invalid_argument] if the window lies outside [buf]. *)
+
+  val pos : t -> int
+  (** Current absolute offset in the underlying buffer. *)
+
+  val remaining : t -> int
+  (** Bytes left before the window's limit. *)
+
+  val u8 : t -> int
+  (** Read one byte, big-endian like all BGP fields. *)
+
+  val u16 : t -> int
+  (** Read a 2-byte big-endian unsigned integer. *)
+
+  val u32 : t -> int
+  (** Read a 4-byte big-endian unsigned integer. *)
+
+  val skip : t -> int -> unit
+  (** Advance past [n] bytes without reading them. *)
+
+  val slice : t -> int -> t
+  (** [slice c n] is a sub-cursor over the next [n] bytes, sharing the
+      buffer (no copy); [c] advances past them. *)
+
+  val rest : t -> bytes
+  (** Copy of the bytes from the current position to the limit — the
+      one copying escape hatch, for callers that need to retain data
+      beyond the buffer's lifetime. *)
+end
+
+(** {1 Encoding} *)
 
 val encode : session_opts -> Message.t -> bytes
 (** Serialise a message, including the 19-byte header. *)
 
+val encode_attrs : ?with_next_hop:bool -> session_opts -> Attrs.t -> bytes
+(** Serialise just a path-attribute section (no framing), in canonical
+    ascending attribute-code order.  [~with_next_hop:false] omits the
+    NEXT_HOP attribute — MRT [RIB_IPV6_UNICAST] entries carry
+    reachability in an abbreviated MP_REACH_NLRI instead
+    (RFC 6396 §4.3.4). *)
+
+val encode_prefix : Buffer.t -> Prefix.t -> unit
+(** Append one NLRI-encoded prefix (length byte + minimal address
+    bytes), without an ADD-PATH identifier — the shape MRT RIB records
+    use. *)
+
+(** {1 Decoding} *)
+
 val decode : session_opts -> bytes -> pos:int -> (Message.t * int, error) result
 (** [decode opts buf ~pos] parses one message starting at [pos];
-    returns the message and the position one past its end. *)
+    returns the message and the position one past its end.  This is
+    the {!view}-based cursor path; it agrees with {!decode_eager} on
+    every input. *)
+
+val decode_eager :
+  session_opts -> bytes -> pos:int -> (Message.t * int, error) result
+(** The retained single-pass reference decoder.  Kept as the oracle
+    for the cursor path's differential tests; same contract as
+    {!decode}. *)
 
 val decode_exn : session_opts -> bytes -> Message.t
 (** Decode a buffer holding exactly one message; raises [Failure] on
     any error or trailing bytes. Convenience for tests. *)
+
+val decode_attrs :
+  ?require_next_hop:bool ->
+  session_opts ->
+  Cursor.t ->
+  (Attrs.t option, error) result
+(** Parse a bare path-attribute section from a cursor (the MRT entry
+    point).  Returns [None] when the section contains only optional
+    attributes (legal for MP-only UPDATEs).  With
+    [~require_next_hop:false], a section with ORIGIN and AS_PATH but
+    no NEXT_HOP decodes with next hop [0.0.0.0] instead of failing —
+    the MRT [RIB_IPV6_UNICAST] case. *)
+
+val read_prefix : Cursor.t -> Prefix.t
+(** Read one NLRI-encoded prefix (no ADD-PATH identifier); raises
+    {!Error}.  Inverse of {!encode_prefix}. *)
+
+(** {1 Lazy views} *)
+
+type update_view
+(** A zero-copy window onto one UPDATE message: only the section
+    offsets are computed eagerly; withdrawn routes, path attributes,
+    and NLRI are each decoded on first access and memoized. *)
+
+(** A validated message header plus its body.  OPEN, NOTIFICATION and
+    KEEPALIVE are small and parsed immediately; UPDATE — the hot path
+    — stays lazy. *)
+type view =
+  | Open_v of Message.open_msg  (** an OPEN, fully parsed *)
+  | Update_v of update_view  (** an UPDATE, sections parsed on demand *)
+  | Notification_v of Message.notification  (** a NOTIFICATION *)
+  | Keepalive_v  (** a KEEPALIVE *)
+
+val view : session_opts -> bytes -> pos:int -> (view * int, error) result
+(** [view opts buf ~pos] validates the marker, length, and type of the
+    message at [pos] and returns a view plus the position one past the
+    message.  For UPDATEs no body bytes are parsed yet, so [view] can
+    succeed on a frame whose body {!to_message} later rejects. *)
+
+val to_message : view -> (Message.t, error) result
+(** Force a view into a materialized message, decoding UPDATE sections
+    in the eager decoder's order (withdrawn, attributes, NLRI) so the
+    first error reported is identical to {!decode_eager}'s. *)
+
+(** On-demand accessors for one UPDATE's sections.  Each returns the
+    memoized parse of its span; errors are stable across repeated
+    calls. *)
+module Update_view : sig
+  val withdrawn :
+    update_view -> ((Message.path_id * Prefix.t) list, error) result
+  (** Withdrawn routes, parsed on first call. *)
+
+  val attrs : update_view -> (Attrs.t option, error) result
+  (** Path attributes, parsed on first call; [None] if the section is
+      empty or holds only optional attributes. *)
+
+  val nlri : update_view -> ((Message.path_id * Prefix.t) list, error) result
+  (** Announced prefixes, parsed on first call. *)
+
+  val attr_raw : update_view -> code:int -> (bytes option, error) result
+  (** [attr_raw v ~code] is a copy of the body of the first attribute
+      TLV with type [code], or [None] if absent.  Builds (and
+      memoizes) the TLV offset index without decoding any attribute
+      bodies — how MRT readers reach e.g. MP_REACH_NLRI without paying
+      for a full attribute parse. *)
+end

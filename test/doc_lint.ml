@@ -37,7 +37,9 @@ let count_occurrences s sub =
 
 (* Top-level items that must be documented. Module blocks are skipped:
    their members are indented and carry their own docs. *)
-let is_item line = starts_with "val " line || starts_with "type " line
+let is_item line =
+  starts_with "val " line || starts_with "type " line
+  || starts_with "exception " line
 
 let is_blank line = String.trim line = ""
 

@@ -232,6 +232,93 @@ let test_stats_edges () =
   check Alcotest.(float 1e-9) "constant p90" 4.0
     (Stats.percentile 90.0 [ 4.0; 4.0; 4.0 ])
 
+(* ------------------------------------------------------------------ *)
+(* Mrt *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+(* The checked-in fixture is `mrt dump --scale tiny --seed 7 --updates`;
+   these counts pin both the generator and the decoder. A failure here
+   means the wire format or the seeded generators changed shape —
+   regenerate the fixture (see EXPERIMENTS.md) only if that was
+   intentional. *)
+let test_mrt_golden_fixture () =
+  let dump = read_file "fixtures/table.mrt" in
+  check Alcotest.int "bytes" 35351 (Bytes.length dump);
+  match Mrt.summarize dump with
+  | Error e -> Alcotest.failf "summarize: %s" (Mrt.error_to_string e)
+  | Ok s ->
+    check Alcotest.int "records" 364 s.Mrt.n_records;
+    check Alcotest.int "peer index tables" 1 s.Mrt.n_peer_index;
+    check Alcotest.int "peers" 8 s.Mrt.n_peers;
+    check Alcotest.int "rib v4" 174 s.Mrt.n_rib4;
+    check Alcotest.int "rib v6" 4 s.Mrt.n_rib6;
+    check Alcotest.int "bgp4mp" 185 s.Mrt.n_bgp4mp;
+    check Alcotest.int "entries" 356 s.Mrt.n_entries
+
+let test_mrt_golden_replay () =
+  let dump = read_file "fixtures/table.mrt" in
+  match Mrt.load dump with
+  | Error e -> Alcotest.failf "load: %s" (Mrt.error_to_string e)
+  | Ok l ->
+    check Alcotest.int "records" 364 l.Mrt.records;
+    check Alcotest.int "v4 routes" 348 l.Mrt.routes4;
+    check Alcotest.int "v6 entries" 8 l.Mrt.entries6;
+    check Alcotest.int "updates" 185 l.Mrt.updates;
+    check Alcotest.int "table prefixes" 174
+      (Peering_bgp.Rib.prefix_count l.Mrt.rib);
+    check Alcotest.int "table routes" 511
+      (Peering_bgp.Rib.route_count l.Mrt.rib)
+
+let test_mrt_roundtrip_fixture () =
+  let dump = read_file "fixtures/table.mrt" in
+  match Mrt.read_all dump with
+  | Error e -> Alcotest.failf "read_all: %s" (Mrt.error_to_string e)
+  | Ok records ->
+    check Alcotest.bool "re-encode is identity" true
+      (Bytes.equal dump (Mrt.encode records))
+
+(* Strictness: a record whose body does not parse exactly to the
+   header's length, or that runs past the buffer, is rejected. *)
+let test_mrt_malformed () =
+  let dump = read_file "fixtures/table.mrt" in
+  (match Mrt.decode (Bytes.sub dump 0 11) ~pos:0 with
+  | Error Mrt.Truncated -> ()
+  | Error e -> Alcotest.failf "short header: %s" (Mrt.error_to_string e)
+  | Ok _ -> Alcotest.fail "short header decoded");
+  (match Mrt.decode (Bytes.sub dump 0 20) ~pos:0 with
+  | Error Mrt.Truncated -> ()
+  | Error e -> Alcotest.failf "short body: %s" (Mrt.error_to_string e)
+  | Ok _ -> Alcotest.fail "short body decoded");
+  (* An unsupported record type (a complete, zero-length TABLE_DUMP
+     record) is a Bad_record, not a crash. *)
+  let c = Bytes.make 12 '\x00' in
+  Bytes.set c 5 '\x0c' (* type 12, legacy TABLE_DUMP *);
+  match Mrt.decode c ~pos:0 with
+  | Error (Mrt.Bad_record _) -> ()
+  | Error e -> Alcotest.failf "bad type: %s" (Mrt.error_to_string e)
+  | Ok _ -> Alcotest.fail "unsupported type decoded"
+
+let test_mrt_synthetic_stream () =
+  let peers = Mrt.make_peers ~n:20 in
+  check Alcotest.int "peer count" 20 (Array.length peers);
+  let buf = Buffer.create 4096 in
+  Mrt.iter_synthetic_rib ~peers ~n_prefixes:50 (fun r ->
+      Mrt.encode_record buf r);
+  let dump = Buffer.to_bytes buf in
+  match Mrt.summarize dump with
+  | Error e -> Alcotest.failf "summarize: %s" (Mrt.error_to_string e)
+  | Ok s ->
+    check Alcotest.int "records" 51 s.Mrt.n_records;
+    check Alcotest.int "rib v4" 50 s.Mrt.n_rib4;
+    check Alcotest.int "peers" 20 s.Mrt.n_peers
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 1000.0))
@@ -253,6 +340,13 @@ let () =
       ( "reachability",
         [ tc "cones" `Quick test_reachability_cones;
           tc "fraction" `Quick test_reachability_fraction
+        ] );
+      ( "mrt",
+        [ tc "golden fixture" `Quick test_mrt_golden_fixture;
+          tc "golden replay" `Quick test_mrt_golden_replay;
+          tc "fixture roundtrip" `Quick test_mrt_roundtrip_fixture;
+          tc "malformed records" `Quick test_mrt_malformed;
+          tc "synthetic stream" `Quick test_mrt_synthetic_stream
         ] );
       ( "stats",
         [ tc "basics" `Quick test_stats_basics;

@@ -1,0 +1,266 @@
+(* Differential harness for the wire codec rework and the MRT dump
+   round trip.
+
+   Two invariants, on every seed:
+
+   1. Round trip: a dump generated from a seeded world — RIB table plus
+      BGP4MP update stream — re-encodes byte-for-byte after decoding
+      (the writer is canonical, so decode ∘ encode = id on our own
+      output).
+
+   2. Cursor ≡ eager: [Wire.decode] (the zero-copy view path) and
+      [Wire.decode_eager] (the retained linear reference) return the
+      same message and the same [error] value on every corpus frame —
+      including truncations at every offset, corrupted marker/length/
+      type header bytes, attribute-length overruns, and seeded random
+      byte flips.
+
+   Run alone with `dune build @mrt-roundtrip`; widen the sweep with
+   MRT_ROUNDTRIP_SEEDS=<n> (default 5). *)
+
+open Peering_bgp
+module Gen = Peering_topo.Gen
+module Mrt = Peering_measure.Mrt
+
+let n_seeds =
+  match Sys.getenv_opt "MRT_ROUNDTRIP_SEEDS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 5)
+  | None -> 5
+
+let sizes =
+  [ ( "tiny",
+      { Gen.default_params with
+        Gen.n_tier1 = 4;
+        n_large_transit = 6;
+        n_small_transit = 12;
+        n_stub = 40;
+        n_content = 6;
+        target_prefixes = 150
+      } );
+    ( "small",
+      { Gen.default_params with
+        Gen.n_tier1 = 4;
+        n_large_transit = 8;
+        n_small_transit = 20;
+        n_stub = 90;
+        n_content = 8;
+        target_prefixes = 300
+      } )
+  ]
+
+let dump_of ~seed params =
+  let world = Gen.generate { params with Gen.seed } in
+  Mrt.encode
+    (Mrt.table_of_world ~seed world @ Mrt.updates_of_world ~seed world)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 1: dump → parse → re-dump is the identity. *)
+
+let roundtrip_identity () =
+  for seed = 1 to n_seeds do
+    List.iter
+      (fun (size, params) ->
+        let bytes1 = dump_of ~seed params in
+        match Mrt.read_all bytes1 with
+        | Error e ->
+          Alcotest.failf "%s seed=%d: own dump failed to parse: %s" size seed
+            (Mrt.error_to_string e)
+        | Ok records ->
+          let bytes2 = Mrt.encode records in
+          if not (Bytes.equal bytes1 bytes2) then
+            Alcotest.failf
+              "%s seed=%d: re-encoded dump differs (%d vs %d bytes)" size
+              seed (Bytes.length bytes1) (Bytes.length bytes2))
+      sizes
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Invariant 2: cursor and eager agree, message and error alike. *)
+
+let show = function
+  | Ok (m, n) -> Format.asprintf "Ok(%a, %d)" Message.pp m n
+  | Error e -> Printf.sprintf "Error(%s)" (Wire.error_to_string e)
+
+(* Message.t and Wire.error are plain data, so structural equality is
+   the right comparison. *)
+let agree name opts buf ~pos =
+  let cursor = Wire.decode opts buf ~pos in
+  let eager = Wire.decode_eager opts buf ~pos in
+  if cursor <> eager then
+    Alcotest.failf "%s: cursor %s / eager %s" name (show cursor) (show eager)
+
+(* Every frame in the dump's BGP4MP stream, with the session options
+   its subtype implies. *)
+let corpus_of_dump bytes =
+  match Mrt.read_all bytes with
+  | Error e -> Alcotest.failf "corpus dump unreadable: %s" (Mrt.error_to_string e)
+  | Ok records ->
+    List.filter_map
+      (fun t ->
+        match t.Mrt.record with
+        | Mrt.Bgp4mp { as4; payload; _ } ->
+          Some ({ Wire.four_octet_asn = as4; add_path = false }, payload)
+        | _ -> None)
+      records
+
+(* Handcrafted frames covering the message kinds and attribute shapes
+   the synthetic worlds do not produce. *)
+let handcrafted =
+  let open Message in
+  let pfx s = Peering_net.Prefix.of_string_exn s in
+  let asn = Peering_net.Asn.of_int in
+  let ip = Peering_net.Ipv4.of_int in
+  let attrs =
+    Attrs.make ~origin:Attrs.EGP
+      ~as_path:(As_path.of_asns [ asn 65001; asn 65002 ])
+      ~med:42 ~local_pref:200 ~atomic_aggregate:true
+      ~aggregator:(asn 65001, ip 0x0A000001)
+      ~communities:[ Community.make 65001 100; Community.make 65001 200 ]
+      ~next_hop:(ip 0x0A000002) ()
+  in
+  let two = Wire.default_opts in
+  let four = { Wire.four_octet_asn = true; add_path = false } in
+  let addpath = { Wire.four_octet_asn = true; add_path = true } in
+  [ (two, Keepalive);
+    (two, Notification { code = 6; subcode = 2; reason = "shutdown" });
+    ( two,
+      Open
+        { version = 4;
+          asn = asn 65010;
+          hold_time = 90;
+          router_id = ip 0x0A0A0A0A;
+          capabilities = []
+        } );
+    (two, update_of_announce (pfx "203.0.113.0/24") attrs);
+    (four, update_of_announce (pfx "203.0.113.0/24") attrs);
+    (addpath, update_of_announce ~path_id:7 (pfx "203.0.113.0/24") attrs);
+    (two, update_of_withdraw (pfx "198.51.100.0/24"));
+    ( two,
+      Update
+        { withdrawn = [ (0, pfx "198.51.100.0/24") ];
+          attrs = Some attrs;
+          nlri = [ (0, pfx "203.0.113.0/24") ]
+        } )
+  ]
+  |> List.map (fun (opts, m) -> (opts, Wire.encode opts m))
+
+let full_corpus () =
+  let dump = dump_of ~seed:1 (List.assoc "tiny" sizes) in
+  handcrafted @ corpus_of_dump dump
+
+(* Intact frames: both paths must succeed identically. *)
+let corpus_intact () =
+  List.iteri
+    (fun i (opts, b) -> agree (Printf.sprintf "frame %d" i) opts b ~pos:0)
+    (full_corpus ())
+
+(* Truncation at every prefix length of every frame. *)
+let corpus_truncated () =
+  List.iteri
+    (fun i (opts, b) ->
+      for len = 0 to Bytes.length b - 1 do
+        agree
+          (Printf.sprintf "frame %d cut at %d" i len)
+          opts (Bytes.sub b 0 len) ~pos:0
+      done)
+    (full_corpus ())
+
+(* Every header byte corrupted in turn: marker bytes (0..15) break the
+   marker, length bytes (16..17) produce out-of-range or lying lengths,
+   the type byte (18) an unknown type. *)
+let corpus_bad_header () =
+  List.iteri
+    (fun i (opts, b) ->
+      for off = 0 to 18 do
+        let c = Bytes.copy b in
+        Bytes.set c off (Char.chr (Char.code (Bytes.get c off) lxor 0xFF));
+        agree (Printf.sprintf "frame %d header^%d" i off) opts c ~pos:0
+      done)
+    (full_corpus ())
+
+(* Attribute-length overruns: bump the total-attributes length and each
+   per-attribute length byte of an UPDATE so sections overrun their
+   enclosing window. *)
+let corpus_attr_overrun () =
+  let opts = Wire.default_opts in
+  let pfx s = Peering_net.Prefix.of_string_exn s in
+  let attrs =
+    Attrs.make
+      ~as_path:(As_path.of_asns [ Peering_net.Asn.of_int 65001 ])
+      ~next_hop:(Peering_net.Ipv4.of_int 0x0A000002)
+      ()
+  in
+  let b = Wire.encode opts (Message.update_of_announce (pfx "10.1.0.0/16") attrs) in
+  (* Body layout: wlen(2) = 0, then alen(2), then attribute TLVs. *)
+  for delta = 1 to 4 do
+    let c = Bytes.copy b in
+    let alen = (Char.code (Bytes.get c 21) lsl 8) lor Char.code (Bytes.get c 22) in
+    let alen' = alen + delta in
+    Bytes.set c 21 (Char.chr (alen' lsr 8));
+    Bytes.set c 22 (Char.chr (alen' land 0xFF));
+    agree (Printf.sprintf "attrs-len +%d" delta) opts c ~pos:0
+  done;
+  (* Each attribute TLV's length byte (flags, code, len): overrun it. *)
+  let alen = (Char.code (Bytes.get b 21) lsl 8) lor Char.code (Bytes.get b 22) in
+  let pos = ref 23 in
+  while !pos < 23 + alen do
+    let len_off = !pos + 2 in
+    let len = Char.code (Bytes.get b len_off) in
+    let c = Bytes.copy b in
+    Bytes.set c len_off (Char.chr (min 255 (len + 7)));
+    agree (Printf.sprintf "attr at %d len+7" !pos) opts c ~pos:0;
+    pos := len_off + 1 + len
+  done
+
+(* Seeded random byte flips over the whole corpus — whatever the flip
+   produces, the two paths must tell the same story. *)
+let corpus_random_flips () =
+  let rng = Random.State.make [| 0x6d7274 |] in
+  List.iteri
+    (fun i (opts, b) ->
+      for trial = 0 to 19 do
+        let c = Bytes.copy b in
+        let flips = 1 + Random.State.int rng 3 in
+        for _ = 1 to flips do
+          let off = Random.State.int rng (Bytes.length c) in
+          Bytes.set c off (Char.chr (Random.State.int rng 256))
+        done;
+        agree (Printf.sprintf "frame %d flip trial %d" i trial) opts c ~pos:0
+      done)
+    (full_corpus ())
+
+(* Seeded dumps should also agree frame-by-frame across seeds, not just
+   the fixed corpus seed. *)
+let sweep_seeds () =
+  for seed = 1 to n_seeds do
+    List.iter
+      (fun (size, params) ->
+        let dump = dump_of ~seed params in
+        List.iteri
+          (fun i (opts, b) ->
+            agree (Printf.sprintf "%s seed=%d frame %d" size seed i) opts b
+              ~pos:0)
+          (corpus_of_dump dump))
+      sizes
+  done
+
+let () =
+  Printf.printf
+    "mrt-roundtrip: %d seeds per size (MRT_ROUNDTRIP_SEEDS to widen)\n"
+    n_seeds;
+  Alcotest.run "mrt_roundtrip"
+    [ ( "roundtrip",
+        [ Alcotest.test_case "dump-parse-redump identity" `Quick
+            roundtrip_identity
+        ] );
+      ( "cursor-vs-eager",
+        [ Alcotest.test_case "intact frames" `Quick corpus_intact;
+          Alcotest.test_case "truncated at every offset" `Quick
+            corpus_truncated;
+          Alcotest.test_case "corrupt header bytes" `Quick corpus_bad_header;
+          Alcotest.test_case "attribute length overruns" `Quick
+            corpus_attr_overrun;
+          Alcotest.test_case "random byte flips" `Quick corpus_random_flips;
+          Alcotest.test_case "seeded update streams" `Quick sweep_seeds
+        ] )
+    ]
