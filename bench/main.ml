@@ -1,7 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index). Run with no arguments for all
    experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1..a6 prop chaos
-   mrt (scale the MRT dump with MRT_BENCH_PREFIXES, default 1M).
+   chaos-campaign mrt (scale the MRT dump with MRT_BENCH_PREFIXES,
+   default 1M).
    Pass --bechamel to additionally run microbenchmarks of the core
    primitives, and --json FILE to also write every paper-vs-measured
    row plus the metrics snapshot as a machine-readable artifact. *)
@@ -688,6 +689,43 @@ let chaos () =
       (Printf.sprintf "%d of %d" (List.length outcomes - stuck) (List.length outcomes))
 
 (* ------------------------------------------------------------------ *)
+(* CHAOS-CAMPAIGN: compound faults on the default testbed *)
+
+let chaos_campaign () =
+  section
+    "CHAOS-CAMPAIGN  Compound faults, recovery SLOs, blast radius (testbed \
+     scale)";
+  let module Campaign = Peering_fault.Campaign in
+  let r = Campaign.run ~seed:42 () in
+  List.iter
+    (fun (o : Campaign.outcome) ->
+      paper_vs_measured
+        ~label:(Printf.sprintf "%s drill recovers" o.Campaign.drill)
+        ~paper:"yes, zero routes lost"
+        ~measured:
+          (if o.Campaign.reconverged then
+             Printf.sprintf "yes in %.2f virtual s, %d lost"
+               o.Campaign.recovery_s o.Campaign.routes_lost
+           else Printf.sprintf "STUCK (%d lost)" o.Campaign.routes_lost);
+      Printf.printf "    blast: sites [%s], %d trace spans, %d reach dips\n"
+        (String.concat "; " o.Campaign.blast.Campaign.impacted_sites)
+        o.Campaign.blast.Campaign.trace_spans
+        (List.length o.Campaign.blast.Campaign.reach_dips))
+    r.Campaign.outcomes;
+  List.iter
+    (fun (v : Campaign.slo_verdict) ->
+      paper_vs_measured
+        ~label:(Printf.sprintf "p99 recovery (%s)" v.Campaign.verdict_class)
+        ~paper:(Printf.sprintf "<= %.0fs budget" v.Campaign.budget_s)
+        ~measured:
+          (Printf.sprintf "%.2fs over %d samples%s" v.Campaign.p99_s
+             v.Campaign.samples
+             (if v.Campaign.met then "" else " (MISSED)")))
+    r.Campaign.slos;
+  paper_vs_measured ~label:"campaign verdict" ~paper:"passed"
+    ~measured:(if r.Campaign.passed then "passed" else "FAILED")
+
+(* ------------------------------------------------------------------ *)
 (* PROP: parallel valley-free propagation speedup (ROADMAP item) *)
 
 let prop () =
@@ -986,7 +1024,8 @@ let bechamel () =
 let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("f2", f2); ("e4", e4); ("t1", t1);
     ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6);
-    ("prop", prop); ("chaos", chaos); ("mrt", mrt) ]
+    ("prop", prop); ("chaos", chaos); ("chaos-campaign", chaos_campaign);
+    ("mrt", mrt) ]
 
 module Json = Peering_obs.Json
 module Metrics = Peering_obs.Metrics

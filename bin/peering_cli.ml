@@ -816,15 +816,33 @@ let chaos_cmd =
     let doc = "Emit the chaos report as a JSON document." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
+  let list_arg =
+    let doc = "List available scenarios and campaign drills, then exit." in
+    Arg.(value & flag & info [ "list" ] ~doc)
+  in
+  let scenario_arg =
+    let doc =
+      "Run a single scenario (micro drill) or campaign drill by name; see \
+       --list."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let campaign_arg =
+    let doc =
+      "Run the testbed-scale compound campaign (correlated faults, recovery \
+       SLOs, blast-radius accounting) instead of the micro scenarios."
+    in
+    Arg.(value & flag & info [ "campaign" ] ~doc)
+  in
   let module Metrics = Peering_obs.Metrics in
   let module Json = Peering_obs.Json in
   let module Chaos = Peering_fault.Chaos in
-  let run seed json =
-    (* Reset the global registry so two same-seed invocations emit
-       byte-identical documents regardless of process history. *)
-    Metrics.reset ();
-    let outcomes = Chaos.run_all ~seed () in
-    if json then print_endline (Json.to_string ~indent:2 (Chaos.to_json ~seed outcomes))
+  let module Campaign = Peering_fault.Campaign in
+  let print_micro ~seed outcomes json =
+    if json then
+      print_endline
+        (Json.to_string ~indent:2 (Chaos.to_json ~seed outcomes))
     else begin
       Printf.printf "%-10s %-16s %-12s %10s %6s  %s\n" "scenario" "class"
         "reconverged" "recovery_s" "lost" "detail";
@@ -850,15 +868,95 @@ let chaos_cmd =
       if stuck <> [] then exit 1
     end
   in
+  let print_campaign (report : Campaign.report) json =
+    if json then
+      print_endline (Json.to_string ~indent:2 (Campaign.to_json report))
+    else begin
+      Printf.printf "%-12s %-12s %-12s %10s %6s  %s\n" "drill" "class"
+        "reconverged" "recovery_s" "lost" "detail";
+      List.iter
+        (fun (o : Campaign.outcome) ->
+          Printf.printf "%-12s %-12s %-12b %10.2f %6d  %s\n" o.Campaign.drill
+            o.Campaign.slo_class o.Campaign.reconverged o.Campaign.recovery_s
+            o.Campaign.routes_lost o.Campaign.detail;
+          let b = o.Campaign.blast in
+          Printf.printf "%14s blast: sites [%s]; %d trace spans; %s\n" ""
+            (String.concat ", " b.Campaign.impacted_sites)
+            b.Campaign.trace_spans
+            (String.concat "; "
+               (List.map
+                  (fun (d : Campaign.reach_dip) ->
+                    Printf.sprintf "%s dipped %d->%d for %.1fs"
+                      d.Campaign.dip_prefix d.Campaign.baseline_reach
+                      d.Campaign.min_reach
+                      (d.Campaign.dip_until -. d.Campaign.dip_from))
+                  b.Campaign.reach_dips)))
+        report.Campaign.outcomes;
+      if report.Campaign.slos <> [] then begin
+        Printf.printf "\n%-12s %10s %10s %8s  %s\n" "slo class" "p99_s"
+          "budget_s" "samples" "met";
+        List.iter
+          (fun (v : Campaign.slo_verdict) ->
+            Printf.printf "%-12s %10.2f %10.2f %8d  %b\n"
+              v.Campaign.verdict_class v.Campaign.p99_s v.Campaign.budget_s
+              v.Campaign.samples v.Campaign.met)
+          report.Campaign.slos
+      end;
+      if report.Campaign.sweep <> [] then begin
+        Printf.printf "\n%-10s %-10s %-8s %8s %14s  %s\n" "half_life"
+          "suppress" "reuse" "flaps" "suppressed_s" "released";
+        List.iter
+          (fun (r : Campaign.sweep_row) ->
+            Printf.printf "%-10.0f %-10.0f %-8.0f %8d %14.1f  %b\n"
+              r.Campaign.half_life r.Campaign.suppress_threshold
+              r.Campaign.reuse_threshold r.Campaign.flaps_to_suppression
+              r.Campaign.suppressed_s r.Campaign.released)
+          report.Campaign.sweep
+      end;
+      Printf.printf "\nzero routes lost: %b; campaign passed: %b\n"
+        report.Campaign.zero_routes_lost report.Campaign.passed;
+      if not report.Campaign.passed then exit 1
+    end
+  in
+  let run seed json list scenario campaign =
+    if list then begin
+      Printf.printf "micro scenarios (chaos [--scenario NAME]):\n";
+      List.iter (Printf.printf "  %s\n") Chaos.scenarios;
+      Printf.printf "campaign drills (chaos --campaign [--scenario NAME]):\n";
+      List.iter (Printf.printf "  %s\n") Campaign.drills
+    end
+    else begin
+      (* Reset the global registry so two same-seed invocations emit
+         byte-identical documents regardless of process history. *)
+      Metrics.reset ();
+      match scenario with
+      | Some name when List.mem name Campaign.drills ->
+        print_campaign (Campaign.run ~seed ~drills:[ name ] ()) json
+      | Some name when List.mem name Chaos.scenarios ->
+        (* Same index-derived seed as the scenario's run_all slot, so a
+           single-scenario run replays the full suite's member. *)
+        let idx = ref 0 in
+        List.iteri (fun i s -> if s = name then idx := i) Chaos.scenarios;
+        print_micro ~seed
+          [ Chaos.run_one ~seed:(seed + (101 * !idx)) name ]
+          json
+      | Some name ->
+        Printf.eprintf "unknown scenario %S; try --list\n" name;
+        exit 2
+      | None ->
+        if campaign then print_campaign (Campaign.run ~seed ()) json
+        else print_micro ~seed (Chaos.run_all ~seed ()) json
+    end
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
-         "Run the fault-injection drill: one scenario per fault class \
-          (message loss/duplication/corruption/reordering, session reset, \
-          partition, dampened flap, mux crash, tunnel blackhole), each on a \
-          deterministic seeded engine, measuring time-to-reconverge and \
-          routes lost")
-    Term.(const run $ seed_arg $ json_arg)
+         "Run the fault-injection drills: micro scenarios (one per fault \
+          class, each on a deterministic seeded two-router engine) or, with \
+          --campaign, testbed-scale compound campaigns with correlated \
+          faults, per-class recovery SLOs and blast-radius accounting")
+    Term.(const run $ seed_arg $ json_arg $ list_arg $ scenario_arg
+          $ campaign_arg)
 
 let portal_cmd =
   let run seed =

@@ -14,6 +14,11 @@ let m_reuses =
   Metrics.counter ~help:"suppressed routes released for reuse"
     "bgp.dampening.reuses"
 
+let m_suppressed_s =
+  Metrics.histogram
+    ~help:"time a route spent suppressed before release (virtual s)"
+    "bgp.dampening.suppressed_s"
+
 type params = {
   penalty_per_flap : float;
   suppress_threshold : float;
@@ -59,6 +64,7 @@ let refresh t e ~now =
     then begin
       e.suppressed_since <- None;
       Metrics.Counter.inc m_reuses;
+      Metrics.Histogram.observe m_suppressed_s (now -. since);
       (* After the max-suppress cap fires, clamp the penalty so the
          route does not instantly re-suppress on the next tiny flap. *)
       if now -. since >= t.params.max_suppress then

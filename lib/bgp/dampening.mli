@@ -5,7 +5,13 @@
     "Enforcing safety"). Each (peer, prefix) accumulates a penalty per
     flap; the penalty decays exponentially; routes whose penalty
     exceeds the suppress threshold are held down until it decays below
-    the reuse threshold. *)
+    the reuse threshold.
+
+    Observability: flaps, suppressions and releases land in the
+    [bgp.dampening.flaps] / [suppressions] / [reuses] counters, and
+    each release records the time the route spent held down in the
+    [bgp.dampening.suppressed_s] histogram — the readout the chaos
+    campaign's dampening parameter sweep renders. *)
 
 open Peering_net
 

@@ -118,6 +118,9 @@ type t = {
   mutable conns : client_conn list;
   mutable up : bool;
   mutable crashed_at : float option;
+  (* testbed injection hook: observe crash/restart transitions so the
+     simulated Internet can route around a dead mux *)
+  mutable status_hook : (bool -> unit) option;
 }
 
 let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
@@ -132,8 +135,11 @@ let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
     learned = Hashtbl.create 64;
     conns = [];
     up = true;
-    crashed_at = None
+    crashed_at = None;
+    status_hook = None
   }
+
+let set_status_hook t hook = t.status_hook <- hook
 
 let name t = t.server_name
 let asn t = t.asn
@@ -198,9 +204,9 @@ let engine_clock t () = Engine.now t.engine
 (* The export callback runs under its own child span so downstream
    work it triggers (BGP transmits, route-server fan-out, scheduled
    wire deliveries) hangs off the announcement that caused it. *)
-let export_spanned t ev =
+let export_spanned ?(attrs = []) t ev =
   Span.with_span ~time:(engine_clock t)
-    ~attrs:[ ("site", t.server_name) ]
+    ~attrs:(("site", t.server_name) :: attrs)
     "core.server.export"
     (fun () -> t.export ev)
 
@@ -341,7 +347,8 @@ let crash t =
        be re-learned after restart. Client registrations (and the
        safety registry) live in the controller and survive. *)
     Hashtbl.reset t.learned;
-    Metrics.Counter.inc t.m.m_crashes
+    Metrics.Counter.inc t.m.m_crashes;
+    match t.status_hook with Some f -> f false | None -> ()
   end
 
 let restart t =
@@ -352,15 +359,20 @@ let restart t =
     | Some at -> Metrics.Histogram.observe t.m.m_downtime (Engine.now t.engine -. at)
     | None -> ());
     t.crashed_at <- None;
+    (match t.status_hook with Some f -> f true | None -> ());
     (* Failover: re-issue every client's surviving announcements so
-       Adj-RIBs-Out resynchronize without client involvement. *)
+       Adj-RIBs-Out resynchronize without client involvement. Each
+       re-export runs spanned so blast-radius accounting attributes
+       the recovery traffic to the fault that caused it. *)
     List.iter
       (fun conn ->
         if not (Prefix.Map.is_empty conn.announced) then
           Metrics.Counter.inc t.m.m_failovers;
         Prefix.Map.iter
           (fun prefix (targets, sanitized) ->
-            t.export
+            export_spanned t
+              ~attrs:
+                [ ("client", conn.id); ("prefix", Prefix.to_string prefix) ]
               (Export_announce
                  { client = conn.id;
                    prefix;

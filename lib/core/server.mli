@@ -120,7 +120,16 @@ val restart : t -> unit
 (** Bring a crashed mux back: records the downtime histogram and
     re-issues every client's surviving announcements (failover) so
     upstream Adj-RIBs-Out resynchronize without client involvement.
-    Peer-learned routes must be re-fed by the testbed. *)
+    Re-exports run under [core.server.export] spans (site, client and
+    prefix attributes), so when a fault injector crashes the mux the
+    recovery traffic lands in the fault's causal trace. Peer-learned
+    routes must be re-fed by the testbed. *)
+
+val set_status_hook : t -> (bool -> unit) option -> unit
+(** Install an observer called with [false] on {!crash} and [true] on
+    {!restart} (before failover re-exports). The testbed uses it to
+    mark the mux's site unreachable in the simulated Internet while
+    the BGP process is down. *)
 
 type session_stats = {
   mode : mux_mode;

@@ -61,6 +61,7 @@ type t = {
   mutable active : active_ann list Prefix.Map.t;
   mutable results : Propagation.result Prefix.Map.t;
   mutable down : Asn.Set.t;
+  mutable leaks : (Asn.t * Asn.t) list;
   mutable rov : (Peering_bgp.Rpki.t * Asn.Set.t) option;
   mutable monitor_rounds : int;
   domains : int option;
@@ -118,15 +119,38 @@ let repropagate t prefix =
     t.results <- Prefix.Map.remove prefix t.results;
     t.active <- Prefix.Map.remove prefix t.active
   | Some anns ->
+    let anns = List.map (fun a -> a.ann) anns in
     let result =
-      Propagation.propagate ?deny:(rov_deny t) ~down:t.down ?domains:t.domains
-        (graph t)
-        (List.map (fun a -> a.ann) anns)
+      match t.leaks with
+      | [] ->
+        Propagation.propagate ?deny:(rov_deny t) ~down:t.down
+          ?domains:t.domains (graph t) anns
+      | leaks ->
+        (* Active route leaks break valley-freeness, so the general
+           fixpoint engine takes over until the leaks are cleared. *)
+        let leak u v =
+          List.exists
+            (fun (a, b) -> Asn.equal a u && Asn.equal b v)
+            leaks
+        in
+        Propagation.propagate_general ?deny:(rov_deny t) ~down:t.down ~leak
+          (graph t) anns
     in
     t.results <- Prefix.Map.add prefix result t.results
 
 let repropagate_all t =
   Prefix.Map.iter (fun prefix _ -> repropagate t prefix) t.active
+
+let set_down t asn down =
+  t.down <-
+    (if down then Asn.Set.add asn t.down else Asn.Set.remove asn t.down);
+  repropagate_all t
+
+let set_leak_edges t edges =
+  t.leaks <- edges;
+  repropagate_all t
+
+let leak_edges t = t.leaks
 
 let result_for t prefix = Prefix.Map.find_opt prefix t.results
 
@@ -233,6 +257,7 @@ let build ?(params = default_params) () =
       active = Prefix.Map.empty;
       results = Prefix.Map.empty;
       down = Asn.Set.empty;
+      leaks = [];
       rov = None;
       monitor_rounds = 0;
       domains = params.domains
@@ -257,6 +282,9 @@ let build ?(params = default_params) () =
         ()
     in
     let site = { s_name = name; s_asn; s_server = server; s_fabric = fabric } in
+    (* A crashed mux takes its site's graph node down with it: nothing
+       propagates through a PoP whose BGP process is dead. *)
+    Server.set_status_hook server (Some (fun up -> set_down t s_asn (not up)));
     t.site_list <- t.site_list @ [ site ];
     mk_peers site;
     site
@@ -361,11 +389,6 @@ let inject_external t ~origin ?(path_suffix = []) prefix =
 
 let retract_external t ~origin prefix =
   remove_active t prefix (External origin)
-
-let set_down t asn down =
-  t.down <-
-    (if down then Asn.Set.add asn t.down else Asn.Set.remove asn t.down);
-  repropagate_all t
 
 let set_rov t ~roas ~adopters =
   t.rov <- Some (roas, adopters);

@@ -107,7 +107,22 @@ val inject_external :
 val retract_external : t -> origin:Asn.t -> Prefix.t -> unit
 
 val set_down : t -> Asn.t -> bool -> unit
-(** Fail / restore an AS; all active prefixes re-propagate. *)
+(** Fail / restore an AS; all active prefixes re-propagate. Site nodes
+    are toggled automatically by each mux's status hook ({!Server.crash}
+    / {!Server.restart}), so a dead PoP really disappears from the
+    simulated Internet. *)
+
+val set_leak_edges : t -> (Asn.t * Asn.t) list -> unit
+(** Inject (or, with [[]], clear) RFC 7908 route leaks: each [(u, v)]
+    makes [u] export its selected routes to [v] regardless of
+    Gao–Rexford discipline. While any leak is active, repropagation
+    switches to {!Propagation.propagate_general}, whose
+    {!Propagation.polluted} readout gives the leak's blast radius —
+    the substrate of the chaos campaign's leak-storm drill. All active
+    prefixes re-propagate. *)
+
+val leak_edges : t -> (Asn.t * Asn.t) list
+(** Currently-injected leak edges, in injection order. *)
 
 val set_rov :
   t -> roas:Peering_bgp.Rpki.t -> adopters:Asn.Set.t -> unit

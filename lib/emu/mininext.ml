@@ -25,6 +25,7 @@ type t = {
   mutable links : (string * string * float) list;
   mutable gateways : (string * Ipv4.t * Forwarder.node_id) list;
   mutable sessions : int;
+  mutable session_list : (string * string * Session.t) list;
   mutable is_started : bool;
 }
 
@@ -42,6 +43,7 @@ let create engine fwd ~name ~asn () =
     links = [];
     gateways = [];
     sessions = 0;
+    session_list = [];
     is_started = false
   }
 
@@ -111,15 +113,17 @@ let start t =
       | p :: rest ->
         List.iter
           (fun q ->
-            ignore
-              (Router.connect t.engine
-                 (p.router, p.loopback)
-                 (q.router, q.loopback));
+            let session =
+              Router.connect t.engine
+                (p.router, p.loopback)
+                (q.router, q.loopback)
+            in
             Router.set_export_policy p.router q.loopback
               (next_hop_self_policy p.loopback);
             Router.set_export_policy q.router p.loopback
               (next_hop_self_policy q.loopback);
-            t.sessions <- t.sessions + 1)
+            t.sessions <- t.sessions + 1;
+            t.session_list <- (p.name, q.name, session) :: t.session_list)
           rest;
         mesh rest
     in
@@ -190,6 +194,7 @@ let sync_fibs t =
 
 let n_pops t = List.length t.pop_list
 let n_ibgp_sessions t = t.sessions
+let ibgp_sessions t = List.rev t.session_list
 
 let routes_at t name = Router.table_size (pop_exn t name).router
 

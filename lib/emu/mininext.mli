@@ -82,6 +82,11 @@ val igp : t -> Igp.t
 val n_pops : t -> int
 val n_ibgp_sessions : t -> int
 
+val ibgp_sessions : t -> (string * string * Peering_bgp.Session.t) list
+(** The mesh's sessions as [(pop_a, pop_b, session)], in mesh build
+    order — the handles a fault injector registers to partition or
+    impair the emulated backbone. Empty before {!start}. *)
+
 val routes_at : t -> string -> int
 (** Loc-RIB size of the PoP's router. *)
 

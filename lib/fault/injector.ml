@@ -36,9 +36,18 @@ let m_mux_crashes =
 let m_blackholes =
   Metrics.counter ~help:"tunnel blackholes injected" "fault.tunnel_blackholes"
 
+let m_fate_groups =
+  Metrics.counter ~help:"correlated fate-group failures injected"
+    "fault.fate_groups"
+
 type link = {
   session : Session.t;
   mutable generation : int;  (* invalidates expiry of replaced impairments *)
+}
+
+type tun = {
+  tunnel : Peering_dataplane.Tunnel.t;
+  mutable t_generation : int;  (* same trick for overlapping blackholes *)
 }
 
 type t = {
@@ -46,7 +55,7 @@ type t = {
   rng : Rng.t;
   links : (string, link) Hashtbl.t;
   muxes : (string, Peering_core.Server.t) Hashtbl.t;
-  tunnels : (string, Peering_dataplane.Tunnel.t) Hashtbl.t;
+  tunnels : (string, tun) Hashtbl.t;
 }
 
 let create engine =
@@ -71,7 +80,16 @@ let add_mux t ~name server =
 let add_tunnel t ~name tunnel =
   if Hashtbl.mem t.tunnels name then
     invalid_arg "Injector.add_tunnel: duplicate name";
-  Hashtbl.replace t.tunnels name tunnel
+  Hashtbl.replace t.tunnels name { tunnel; t_generation = 0 }
+
+let sorted_keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let targets t =
+  { Plan.links = sorted_keys t.links;
+    muxes = sorted_keys t.muxes;
+    tunnels = sorted_keys t.tunnels
+  }
 
 let find tbl what name =
   match Hashtbl.find_opt tbl name with
@@ -124,7 +142,7 @@ let profile_hook t (p : Plan.link_profile) _msg =
   end
   else None
 
-let apply_fault t fault =
+let rec apply_fault t fault =
   emit_fault t fault;
   match fault with
   | Plan.Impair { link; profile; duration } ->
@@ -148,10 +166,27 @@ let apply_fault t fault =
   | Plan.Tunnel_blackhole { tunnel; duration } ->
     Metrics.Counter.inc m_blackholes;
     let tun = find t.tunnels "tunnel" tunnel in
-    Peering_dataplane.Tunnel.set_blackhole tun true;
+    tun.t_generation <- tun.t_generation + 1;
+    let generation = tun.t_generation in
+    Peering_dataplane.Tunnel.set_blackhole tun.tunnel true;
     Engine.schedule t.engine ~delay:duration (fun () ->
-        Peering_dataplane.Tunnel.set_blackhole tun false;
-        emit_recovered t ~target:tunnel ~after_s:duration)
+        (* A newer blackhole window on the same tunnel owns the expiry
+           now — same generation trick as link impairments. *)
+        if generation = tun.t_generation then begin
+          Peering_dataplane.Tunnel.set_blackhole tun.tunnel false;
+          emit_recovered t ~target:tunnel ~after_s:duration
+        end)
+  | Plan.Fate_group { group; faults } ->
+    if
+      List.exists
+        (function Plan.Fate_group _ -> true | _ -> false)
+        faults
+    then invalid_arg (Printf.sprintf "Injector: nested fate group %S" group);
+    Metrics.Counter.inc m_fate_groups;
+    (* Correlated failure: every member fires at this same instant,
+       each emitting its own Fault_injected event so the timeline
+       shows the shared-fate cluster. *)
+    List.iter (apply_fault t) faults
 
 (* A chaos fault is one of the traced entry points: each applied step
    roots its own span, so everything the fault triggers (drops, mux

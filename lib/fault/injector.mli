@@ -25,14 +25,22 @@ val add_mux : t -> name:string -> Peering_core.Server.t -> unit
 val add_tunnel : t -> name:string -> Peering_dataplane.Tunnel.t -> unit
 (** Register a tunnel as a blackhole target. *)
 
+val targets : t -> Plan.targets
+(** Everything registered so far, each list sorted by name — feed it
+    to {!Plan.validate} to vet a plan against this injector before
+    arming. *)
+
 val apply : t -> Plan.fault -> unit
 (** Apply one fault right now (timed expiry still scheduled on the
-    engine). Unknown target names raise [Invalid_argument]. *)
+    engine). Unknown target names raise [Invalid_argument], as does a
+    nested {!Plan.Fate_group}. A fate group applies every member at
+    the current instant under one [fault.inject] span. *)
 
 val arm : t -> Plan.t -> unit
 (** Schedule every step of the plan relative to the current virtual
-    time. Overlapping impairments on one link supersede each other:
-    the newest hook wins and the superseded expiry is cancelled. *)
+    time. Overlapping impairments on one link — and overlapping
+    blackhole windows on one tunnel — supersede each other: the newest
+    hook wins and the superseded expiry is cancelled. *)
 
 val rng : t -> Peering_sim.Rng.t
 (** The injector's private RNG stream (exposed so harnesses can make

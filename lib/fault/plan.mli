@@ -42,6 +42,13 @@ type fault =
       (** the mux's BGP process dies and restarts after [downtime] *)
   | Tunnel_blackhole of { tunnel : string; duration : float }
       (** packets entering the tunnel silently vanish for [duration] *)
+  | Fate_group of { group : string; faults : fault list }
+      (** correlated failure: every member fault fires at the same
+          instant, modelling shared fate (one conduit cut, one
+          hypervisor death) — the testbed-scale analogue of a PoP's
+          tunnels all dying together. Members must be atomic faults:
+          nesting groups is a validation error and the injector
+          refuses it. *)
 
 type step = { at : float; fault : fault }
 (** A fault scheduled at virtual time [at] (relative to arming). *)
@@ -54,11 +61,49 @@ val of_steps : step list -> t
 
 val fault_class : fault -> string
 (** Stable class tag: ["impair"], ["partition"], ["session_reset"],
-    ["mux_crash"] or ["tunnel_blackhole"] — the key used for
-    per-class recovery metrics. *)
+    ["mux_crash"], ["tunnel_blackhole"] or ["fate_group"] — the key
+    used for per-class recovery metrics. *)
 
 val target : fault -> string
-(** The registered name the fault acts on. *)
+(** The registered name the fault acts on (the group name for
+    {!Fate_group}). *)
 
 val describe : fault -> string
 (** Human-readable one-liner for traces and logs. *)
+
+(** {2 Static validation}
+
+    A plan is data; campaigns validate it against the injector's
+    target registry before arming so typos and malformed windows fail
+    fast instead of silently doing nothing at virtual time 300. *)
+
+type targets = {
+  links : string list;
+  muxes : string list;
+  tunnels : string list;
+}
+(** The names an injector can act on (see [Injector.targets]). *)
+
+type severity =
+  | Error  (** the plan cannot mean what it says; refuse to arm *)
+  | Warning  (** legal but suspicious; arm it, but say so *)
+
+type issue = {
+  severity : severity;
+  at : float;  (** the step time the issue anchors to *)
+  message : string;
+}
+
+val validate : ?targets:targets -> t -> issue list
+(** Check a plan, sorted by time then severity. Errors: targets not in
+    the registry (only when [targets] is given), impairment rates
+    outside [0,1], negative reorder delay, non-positive durations,
+    empty or nested fate groups. Warnings: overlapping same-class
+    windows on one target, where the injector's generation guard lets
+    the later window silently supersede the earlier. An empty list
+    means the plan is clean. *)
+
+val errors : issue list -> issue list
+(** Just the [Error]-severity issues. *)
+
+val issue_to_string : issue -> string

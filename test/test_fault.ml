@@ -12,6 +12,8 @@ module Chaos = Peering_fault.Chaos
 module Router = Peering_router.Router
 module Session = Peering_bgp.Session
 module Fsm = Peering_bgp.Fsm
+module Forwarder = Peering_dataplane.Forwarder
+module Tunnel = Peering_dataplane.Tunnel
 
 let tc = Alcotest.test_case
 
@@ -44,7 +46,7 @@ let test_plan_sorts () =
   in
   Alcotest.(check (list (float 0.0)))
     "steps sorted by time" [ 1.0; 5.0 ]
-    (List.map (fun s -> s.Plan.at) plan)
+    (List.map (fun (s : Plan.step) -> s.at) plan)
 
 let test_plan_validation () =
   Alcotest.(check bool) "negative time rejected" true
@@ -77,6 +79,86 @@ let test_injector_unknown_target () =
   Alcotest.(check bool) "unknown link rejected" true
     (raises_invalid (fun () ->
          Injector.apply inj (Plan.Session_reset { link = "nope" })))
+
+(* Static validation: a plan is vetted against the injector's registry
+   before arming, so typos and malformed windows fail fast. *)
+let test_plan_validate_issues () =
+  let targets = { Plan.links = [ "l" ]; muxes = [ "m" ]; tunnels = [ "t" ] } in
+  let step at fault = { Plan.at; fault } in
+  let clean =
+    Plan.of_steps
+      [ step 0.0 (Plan.Partition { link = "l"; duration = 5.0 });
+        step 10.0 (Plan.Mux_crash { mux = "m"; downtime = 2.0 })
+      ]
+  in
+  Alcotest.(check int) "clean plan has no issues" 0
+    (List.length (Plan.validate ~targets clean));
+  let typo =
+    Plan.of_steps [ step 0.0 (Plan.Session_reset { link = "nope" }) ]
+  in
+  Alcotest.(check int) "unknown target is an error" 1
+    (List.length (Plan.errors (Plan.validate ~targets typo)));
+  Alcotest.(check int) "no registry means no target check" 0
+    (List.length (Plan.validate typo));
+  let hot = { Plan.pristine with Plan.loss = 1.5 } in
+  let bad_rate =
+    Plan.of_steps
+      [ step 1.0 (Plan.Impair { link = "l"; profile = hot; duration = 1.0 }) ]
+  in
+  Alcotest.(check bool) "rate outside [0,1] is an error" true
+    (Plan.errors (Plan.validate ~targets bad_rate) <> []);
+  let zero_window =
+    Plan.of_steps
+      [ step 0.0 (Plan.Partition { link = "l"; duration = 0.0 }) ]
+  in
+  Alcotest.(check bool) "non-positive duration is an error" true
+    (Plan.errors (Plan.validate ~targets zero_window) <> []);
+  let nested =
+    Plan.of_steps
+      [ step 0.0
+          (Plan.Fate_group
+             { group = "outer";
+               faults =
+                 [ Plan.Fate_group
+                     { group = "inner";
+                       faults = [ Plan.Session_reset { link = "l" } ]
+                     }
+                 ]
+             })
+      ]
+  in
+  Alcotest.(check bool) "nested fate group is an error" true
+    (Plan.errors (Plan.validate ~targets nested) <> []);
+  let empty =
+    Plan.of_steps [ step 0.0 (Plan.Fate_group { group = "g"; faults = [] }) ]
+  in
+  Alcotest.(check bool) "empty fate group is an error" true
+    (Plan.errors (Plan.validate ~targets empty) <> [])
+
+let test_plan_validate_overlap_warning () =
+  let targets = { Plan.links = [ "l" ]; muxes = []; tunnels = [ "t" ] } in
+  let step at fault = { Plan.at; fault } in
+  let overlap =
+    Plan.of_steps
+      [ step 0.0 (Plan.Partition { link = "l"; duration = 10.0 });
+        step 5.0 (Plan.Partition { link = "l"; duration = 10.0 })
+      ]
+  in
+  let issues = Plan.validate ~targets overlap in
+  Alcotest.(check bool) "overlapping windows warned" true
+    (List.exists (fun (i : Plan.issue) -> i.severity = Plan.Warning) issues);
+  Alcotest.(check int) "but they are not errors" 0
+    (List.length (Plan.errors issues));
+  (* Disjoint windows and different targets stay silent. *)
+  let disjoint =
+    Plan.of_steps
+      [ step 0.0 (Plan.Partition { link = "l"; duration = 4.0 });
+        step 5.0 (Plan.Partition { link = "l"; duration = 4.0 });
+        step 2.0 (Plan.Tunnel_blackhole { tunnel = "t"; duration = 10.0 })
+      ]
+  in
+  Alcotest.(check int) "disjoint windows are clean" 0
+    (List.length (Plan.validate ~targets disjoint))
 
 (* ------------------------------------------------------------------ *)
 (* A two-router world for the direct recovery tests. *)
@@ -179,6 +261,110 @@ let test_corrupt_frames_counted () =
     (Metrics.counter_value "bgp.wire.decode_errors" > errs0);
   Alcotest.(check bool) "recovers once frames are clean" true
     (wait_until engine (fun () -> converged r1 r2 session ~full) ~timeout:600.0)
+
+(* ------------------------------------------------------------------ *)
+(* Generation-guarded window expiry and fate groups. *)
+
+(* Two overlapping blackhole windows on one tunnel: the superseded
+   window's expiry must not clear the blackhole early; only the
+   newest window's expiry does. *)
+let test_overlapping_blackhole_windows () =
+  let engine = Engine.create ~seed:8 () in
+  let fwd = Forwarder.create engine in
+  Forwarder.add_node fwd "a";
+  Forwarder.add_node fwd "b";
+  let tun = Tunnel.establish fwd engine ~a:"a" ~b:"b" () in
+  let inj = Injector.create engine in
+  Injector.add_tunnel inj ~name:"t" tun;
+  Injector.apply inj (Plan.Tunnel_blackhole { tunnel = "t"; duration = 10.0 });
+  Alcotest.(check bool) "blackholed immediately" true (Tunnel.blackholed tun);
+  Engine.run_for engine 5.0;
+  Injector.apply inj (Plan.Tunnel_blackhole { tunnel = "t"; duration = 10.0 });
+  Engine.run_for engine 6.0;
+  (* Virtual time 11: the first window's expiry has fired and must
+     have been ignored — the second window owns the tunnel until 15. *)
+  Alcotest.(check bool) "superseded expiry ignored" true
+    (Tunnel.blackholed tun);
+  Engine.run_for engine 5.0;
+  Alcotest.(check bool) "owning window clears the blackhole" false
+    (Tunnel.blackholed tun)
+
+(* The link-impairment analogue, stretched across a mux-crash-style
+   outage: the second partition window keeps dropping messages after
+   the first window's (superseded) expiry fires. *)
+let test_overlapping_partition_windows () =
+  let engine = Engine.create ~seed:31 () in
+  let mk asn router_id =
+    Router.create engine ~asn:(Asn.of_int asn) ~router_id ~hold_time:9 ()
+  in
+  let a1 = Ipv4.of_octets 192 168 11 1 and a2 = Ipv4.of_octets 192 168 11 2 in
+  let r1 = mk 65011 a1 and r2 = mk 65012 a2 in
+  Router.originate r1 (Prefix.make (Ipv4.of_octets 10 11 0 0) 24);
+  Router.originate r2 (Prefix.make (Ipv4.of_octets 10 12 0 0) 24);
+  let session = Router.connect engine ~auto_restart:true (r1, a1) (r2, a2) in
+  Alcotest.(check bool) "initial convergence" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full:2) ~timeout:60.0);
+  let inj = Injector.create engine in
+  Injector.add_link inj ~name:"l" session;
+  Injector.apply inj (Plan.Partition { link = "l"; duration = 10.0 });
+  Engine.run_for engine 5.0;
+  Injector.apply inj (Plan.Partition { link = "l"; duration = 10.0 });
+  Engine.run_for engine 6.0;
+  (* Past the superseded expiry: the newer window must still be
+     dropping whatever the FSMs (now reconnecting) try to send. *)
+  let d0 = Metrics.counter_value "fault.msg_dropped" in
+  Engine.run_for engine 3.5;
+  Alcotest.(check bool) "later window still drops after superseded expiry" true
+    (Metrics.counter_value "fault.msg_dropped" > d0);
+  Alcotest.(check bool) "recovers once the owning window expires" true
+    (wait_until engine
+       (fun () -> converged r1 r2 session ~full:2)
+       ~timeout:600.0)
+
+let test_fate_group_application () =
+  let engine, r1, r2, session = make_pair ~seed:21 ~n_prefixes:2 () in
+  Alcotest.(check bool) "initial convergence" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full:4) ~timeout:60.0);
+  let fwd = Forwarder.create engine in
+  Forwarder.add_node fwd "a";
+  Forwarder.add_node fwd "b";
+  let tun = Tunnel.establish fwd engine ~a:"a" ~b:"b" () in
+  let inj = Injector.create engine in
+  Injector.add_link inj ~name:"z-link" session;
+  Injector.add_tunnel inj ~name:"tun0" tun;
+  (* The registry accessor feeds Plan.validate. *)
+  let tgts = Injector.targets inj in
+  Alcotest.(check (list string)) "links registered" [ "z-link" ] tgts.Plan.links;
+  Alcotest.(check (list string)) "tunnels registered" [ "tun0" ]
+    tgts.Plan.tunnels;
+  Alcotest.(check (list string)) "no muxes here" [] tgts.Plan.muxes;
+  let groups0 = Metrics.counter_value "fault.fate_groups" in
+  let resets0 = Metrics.counter_value "fault.session_resets" in
+  Injector.apply inj
+    (Plan.Fate_group
+       { group = "conduit";
+         faults =
+           [ Plan.Session_reset { link = "z-link" };
+             Plan.Tunnel_blackhole { tunnel = "tun0"; duration = 3.0 }
+           ]
+       });
+  (* Both members fired at the same instant, and the group counted. *)
+  Alcotest.(check bool) "fate group counted" true
+    (Metrics.counter_value "fault.fate_groups" > groups0);
+  Alcotest.(check bool) "member reset applied" true
+    (Metrics.counter_value "fault.session_resets" > resets0);
+  Alcotest.(check bool) "member blackhole applied" true (Tunnel.blackholed tun);
+  Alcotest.(check bool) "nested group refused" true
+    (raises_invalid (fun () ->
+         Injector.apply inj
+           (Plan.Fate_group
+              { group = "outer";
+                faults = [ Plan.Fate_group { group = "inner"; faults = [] } ]
+              })));
+  Engine.run_for engine 4.0;
+  Alcotest.(check bool) "blackhole expires" false (Tunnel.blackholed tun);
+  Alcotest.(check bool) "session recovers from the reset" true
+    (wait_until engine (fun () -> converged r1 r2 session ~full:4) ~timeout:600.0)
 
 (* ------------------------------------------------------------------ *)
 (* The dampening x flap interaction (RFC 2439 under a seeded flap
@@ -325,7 +511,16 @@ let () =
         [ tc "sorts steps" `Quick test_plan_sorts;
           tc "validates" `Quick test_plan_validation;
           tc "fault classes" `Quick test_fault_classes;
-          tc "unknown target" `Quick test_injector_unknown_target
+          tc "unknown target" `Quick test_injector_unknown_target;
+          tc "static validation issues" `Quick test_plan_validate_issues;
+          tc "overlap warnings" `Quick test_plan_validate_overlap_warning
+        ] );
+      ( "injector",
+        [ tc "overlapping blackhole windows" `Quick
+            test_overlapping_blackhole_windows;
+          tc "overlapping partition windows" `Slow
+            test_overlapping_partition_windows;
+          tc "fate group application" `Slow test_fate_group_application
         ] );
       ( "recovery",
         [ tc "graceful restart retention" `Quick test_graceful_restart_retention;
