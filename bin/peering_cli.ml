@@ -879,6 +879,15 @@ let chaos_cmd =
           Printf.printf "%-12s %-12s %-12b %10.2f %6d  %s\n" o.Campaign.drill
             o.Campaign.slo_class o.Campaign.reconverged o.Campaign.recovery_s
             o.Campaign.routes_lost o.Campaign.detail;
+          if o.Campaign.tenant_reaches <> [] then begin
+            let restored =
+              List.for_all
+                (fun (_, base, final) -> final = base)
+                o.Campaign.tenant_reaches
+            in
+            Printf.printf "%14s tenants: %d scheduled, reach restored: %b\n"
+              "" (List.length o.Campaign.tenant_reaches) restored
+          end;
           let b = o.Campaign.blast in
           Printf.printf "%14s blast: sites [%s]; %d trace spans; %s\n" ""
             (String.concat ", " b.Campaign.impacted_sites)
@@ -957,6 +966,132 @@ let chaos_cmd =
           faults, per-class recovery SLOs and blast-radius accounting")
     Term.(const run $ seed_arg $ json_arg $ list_arg $ scenario_arg
           $ campaign_arg)
+
+let sched_cmd =
+  let json_arg =
+    let doc = "Emit the schedule as a peering-sched/1 JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let tenants_arg =
+    let doc = "Number of tenant proposals to submit." in
+    Arg.(value & opt int 16 & info [ "tenants" ] ~docv:"N" ~doc)
+  in
+  let module Metrics = Peering_obs.Metrics in
+  let module Json = Peering_obs.Json in
+  let run seed json n_tenants =
+    (* Reset the global registry so two same-seed invocations emit
+       byte-identical documents regardless of process history. *)
+    Metrics.reset ();
+    let params = { Testbed.default_params with Testbed.seed } in
+    let t = Testbed.build ~params () in
+    let rng = Rng.create (seed + 7919) in
+    let sched =
+      Scheduler.create ~vet:Peering_check.Admission.vet ~quota:4
+        ~extra_supply:
+          [ Prefix.of_string_exn "184.164.192.0/19";
+            Prefix.of_string_exn "184.164.128.0/18"
+          ]
+        t
+    in
+    let site_names = List.map Testbed.site_name (Testbed.sites t) in
+    let tenant_sites = Hashtbl.create 16 in
+    let verdicts =
+      List.init n_tenants (fun i ->
+          let tenant = Printf.sprintf "tenant-%02d" i in
+          let sites =
+            if Rng.bernoulli rng 0.5 then []
+            else [ List.nth site_names (Rng.int rng (List.length site_names)) ]
+          in
+          Hashtbl.replace tenant_sites tenant sites;
+          let poison_targets =
+            (* a few tenants probe the admission checks: poisoning a
+               live tenant's origin must be rejected *)
+            if i mod 5 <> 4 then []
+            else
+              match Scheduler.tenants sched with
+              | prior :: _ -> (
+                match Scheduler.client sched prior with
+                | Some c -> (Client.experiment c).Experiment.private_asns
+                | None -> [])
+              | [] -> []
+          in
+          let p =
+            Scheduler.proposal ~n_prefixes:(1 + Rng.int rng 2)
+              ~may_poison:(poison_targets <> [])
+              ~poison_targets ~sites tenant
+          in
+          (tenant, Scheduler.admit sched p))
+    in
+    (* every admitted tenant announces its lease; a few churn once to
+       exercise the fair-share batcher *)
+    List.iter
+      (fun tenant ->
+        List.iter
+          (fun p -> ignore (Scheduler.request_announce sched ~tenant p))
+          (Scheduler.leased_prefixes sched tenant))
+      (Scheduler.tenants sched);
+    (* churn a single site only: a full-fanout withdraw charges one
+       dampening flap per connected mux, and the safety filter would
+       (correctly) suppress the immediate re-announcement *)
+    List.iteri
+      (fun i tenant ->
+        if i mod 3 = 0 then begin
+          match Scheduler.leased_prefixes sched tenant with
+          | p :: _ ->
+            let site =
+              match Hashtbl.find_opt tenant_sites tenant with
+              | Some (s :: _) -> s
+              | Some [] | None -> List.hd site_names
+            in
+            ignore (Scheduler.request_withdraw sched ~tenant ~sites:[ site ] p);
+            ignore
+              (Scheduler.request_announce sched ~tenant ~sites:[ site ] p)
+          | [] -> ()
+        end)
+      (Scheduler.tenants sched);
+    ignore (Scheduler.pump sched);
+    let violations = Scheduler.isolation_violations sched in
+    if json then
+      print_endline (Json.to_string ~indent:2 (Scheduler.to_json sched))
+    else begin
+      Printf.printf "%-12s %-10s %8s  %s\n" "tenant" "verdict" "reach"
+        "leases";
+      List.iter
+        (fun (tenant, verdict) ->
+          match verdict with
+          | Scheduler.Admitted _ when Scheduler.is_running sched tenant ->
+            let leases = Scheduler.leased_prefixes sched tenant in
+            let reach =
+              match leases with
+              | p :: _ -> Testbed.reach_count t p
+              | [] -> 0
+            in
+            Printf.printf "%-12s %-10s %8d  %s\n" tenant "admitted" reach
+              (String.concat " " (List.map Prefix.to_string leases))
+          | Scheduler.Admitted _ ->
+            Printf.printf "%-12s %-10s %8s  -\n" tenant "expired" "-"
+          | Scheduler.Rejected issues ->
+            Printf.printf "%-12s %-10s %8s  %s\n" tenant "rejected" "-"
+              (String.concat ", "
+                 (List.map (fun i -> i.Scheduler.issue_code) issues)))
+        verdicts;
+      Printf.printf
+        "\n%d/%d admitted; %d rounds, %d ops applied; isolation violations: \
+         %d\n"
+        (List.length (Scheduler.tenants sched))
+        n_tenants (Scheduler.rounds_run sched) (Scheduler.ops_applied sched)
+        violations
+    end;
+    if violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Run the multi-tenant experiment scheduler on the default testbed: \
+          admission-controlled proposals, prefix leases from the pool, \
+          fair-share update batching and the isolation oracle. Exits 1 if \
+          any isolation violation is detected.")
+    Term.(const run $ seed_arg $ json_arg $ tenants_arg)
 
 let portal_cmd =
   let run seed =
@@ -1123,4 +1258,4 @@ let () =
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
             config_cmd; check_cmd; verify_cmd; portal_cmd; stats_cmd;
-            trace_cmd; chaos_cmd; mrt_cmd ]))
+            trace_cmd; chaos_cmd; sched_cmd; mrt_cmd ]))

@@ -1,0 +1,45 @@
+module Scheduler = Peering_core.Scheduler
+module Experiment = Peering_core.Experiment
+
+let issues_of_diagnostics diags =
+  List.filter_map
+    (fun (d : Diagnostic.t) ->
+      let sev =
+        match d.Diagnostic.severity with
+        | Diagnostic.Error -> Some `Error
+        | Diagnostic.Warning -> Some `Warning
+        | Diagnostic.Info -> None
+      in
+      Option.map
+        (fun issue_severity ->
+          { Scheduler.issue_code = d.Diagnostic.code;
+            issue_severity;
+            issue_message = d.Diagnostic.message
+          })
+        sev)
+    diags
+
+(* A candidate's declared poison targets become synthetic announce
+   events (path suffix = the targets) on its first allocated prefix,
+   so the EXP-POISON and XEXP-POISON passes see exactly what the
+   tenant plans to put on the wire. *)
+let spec_of_candidate (c : Scheduler.candidate) =
+  let events =
+    match
+      (c.Scheduler.cand_poison_targets, c.Scheduler.cand_experiment.Experiment.prefixes)
+    with
+    | [], _ | _, [] -> []
+    | targets, prefix :: _ ->
+      [ { Spec.ev_time = 0.0;
+          ev_line = 0;
+          ev_prefix = prefix;
+          ev_kind = Spec.Announce targets
+        }
+      ]
+  in
+  ( Some c.Scheduler.cand_tenant,
+    Spec.of_experiment c.Scheduler.cand_experiment events )
+
+let vet candidates =
+  issues_of_diagnostics
+    (Check.check_specs (List.map spec_of_candidate candidates))

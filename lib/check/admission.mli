@@ -1,0 +1,23 @@
+(** Admission-control glue for the multi-tenant scheduler.
+
+    {!Peering_core.Scheduler} cannot call the analyzer directly —
+    [peering_check] links against [peering_core], not the other way
+    around — so the scheduler takes a pluggable
+    {!Peering_core.Scheduler.vet} hook and this module supplies the
+    canonical one: each tenant batch is converted to {!Spec} views
+    ({!Spec.of_experiment} plus synthetic announce events carrying the
+    declared poison targets) and run through {!Check.check_specs},
+    whose per-spec passes (EXP-HIJACK / EXP-POISON / EXP-DAMPEN) and
+    cross-spec XEXP passes (XEXP-OVERLAP / XEXP-ASN / XEXP-POISON)
+    become admission issues. *)
+
+val vet : Peering_core.Scheduler.vet
+(** The {!Check.check_specs}-backed batch admission check. Diagnostic
+    severities map directly ([Error] rejects, [Warning] rides along in
+    the verdict; [Info] is dropped). Install with
+    [Scheduler.create ~vet:Admission.vet tb]. *)
+
+val issues_of_diagnostics :
+  Diagnostic.t list -> Peering_core.Scheduler.issue list
+(** The severity/code/message mapping used by {!vet}, exposed for
+    tests and for callers composing their own batch checks. *)

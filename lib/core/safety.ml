@@ -141,10 +141,15 @@ let note_withdraw t ~now ~client ~prefix =
   | Some c when c = client -> t.registry <- Prefix.Map.remove prefix t.registry
   | Some _ | None -> ())
 
+type release_outcome = Released | Not_claimed | Claimed_by_other of string
+
 let release t ~client ~prefix =
   match Prefix.Map.find_opt prefix t.registry with
-  | Some c when c = client -> t.registry <- Prefix.Map.remove prefix t.registry
-  | Some _ | None -> ()
+  | Some c when c = client ->
+    t.registry <- Prefix.Map.remove prefix t.registry;
+    Released
+  | Some other -> Claimed_by_other other
+  | None -> Not_claimed
 
 let announced_by t prefix = Prefix.Map.find_opt prefix t.registry
 

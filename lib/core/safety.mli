@@ -29,6 +29,9 @@ type reason =
 val reason_to_string : reason -> string
 
 type t
+(** One safety filter, shared by every server of a testbed: the
+    announcement registry (prefix → claiming client), the dampening
+    state and the supply test. *)
 
 val create :
   ?dampening:Dampening.params ->
@@ -53,9 +56,23 @@ val check_announce :
 val note_withdraw : t -> now:float -> client:string -> prefix:Prefix.t -> unit
 (** Withdrawals count as flaps. *)
 
-val release : t -> client:string -> prefix:Prefix.t -> unit
+type release_outcome =
+  | Released  (** the (client, prefix) claim existed and is now gone *)
+  | Not_claimed
+      (** nothing was registered for the prefix — a double release or
+          a release of something never claimed; a no-op *)
+  | Claimed_by_other of string
+      (** the prefix is registered to the named {e other} client; the
+          registration is left untouched (releasing someone else's
+          claim would break isolation) *)
+
+val release : t -> client:string -> prefix:Prefix.t -> release_outcome
 (** Forget the registration (client disconnect), keeping the
-    dampening history. *)
+    dampening history. Releases are claim-keyed per (client, prefix):
+    only the registering client can release, and the outcome says
+    explicitly whether anything was released — double releases and
+    releases of unclaimed prefixes return {!Not_claimed} rather than
+    silently succeeding. *)
 
 val announced_by : t -> Prefix.t -> string option
 (** Which client currently has the prefix announced, if any. *)

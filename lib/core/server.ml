@@ -288,7 +288,7 @@ let disconnect_client t id =
     List.iter (fun (p, _) -> withdraw t ~client:id p)
       (Prefix.Map.bindings conn.announced);
     List.iter
-      (fun (p, _) -> Safety.release t.safety ~client:id ~prefix:p)
+      (fun (p, _) -> ignore (Safety.release t.safety ~client:id ~prefix:p))
       (Prefix.Map.bindings conn.announced);
     t.conns <- List.filter (fun c -> c.id <> id) t.conns
 

@@ -51,6 +51,9 @@ type outcome = {
   reconverged : bool;
   recovery_s : float;
   routes_lost : int;
+  tenant_reaches : (string * int * int) list;
+      (* (tenant, baseline reach, final reach) for drills running
+         scheduled experiments; [] elsewhere *)
   blast : blast;
   detail : string;
 }
@@ -71,7 +74,8 @@ let default_slos =
     { slo_class = "fate_group"; p99_budget_s = 30.0 };
     { slo_class = "cascade"; p99_budget_s = 120.0 };
     { slo_class = "leak_storm"; p99_budget_s = 30.0 };
-    { slo_class = "dampening"; p99_budget_s = 4000.0 }
+    { slo_class = "dampening"; p99_budget_s = 4000.0 };
+    { slo_class = "multi_tenant"; p99_budget_s = 90.0 }
   ]
 
 type slo_verdict = {
@@ -403,6 +407,7 @@ let drill_harness ~drill ~slo_class ~plan ~fault_horizon ?(extra_timeout = 600.)
       reconverged;
       recovery_s;
       routes_lost = routes_lost w;
+      tenant_reaches = [];
       blast;
       detail = ""
     }
@@ -629,11 +634,111 @@ let leak_storm_drill ~seed =
     reconverged;
     recovery_s;
     routes_lost = routes_lost w;
+    tenant_reaches = [];
     blast = collect_blast ~dips:(dips ()) ();
     detail =
       Printf.sprintf
         "%d polluted AS-routes at storm peak; %d after clearing" !polluted
         residual
+  }
+
+(* Multi-tenant compound: the compound fault plan fired under 20
+   concurrent scheduler-admitted experiments, each holding a leased
+   /24 announced from every site. Recovery requires the usual world
+   predicate AND every tenant's per-prefix reach back at its own
+   baseline — the per-tenant zero-routes-lost SLO. *)
+let multi_tenant_drill ~seed =
+  Span.reset ();
+  Sink.start_flight_recorder ();
+  let w = make_world ~seed in
+  let n_tenants = 20 in
+  let sched = Scheduler.create ~quota:4 ~round_interval:0.5 w.tb in
+  for i = 0 to n_tenants - 1 do
+    let tenant = Printf.sprintf "exp-%02d" i in
+    match Scheduler.admit sched (Scheduler.proposal tenant) with
+    | Scheduler.Admitted _ -> ()
+    | Scheduler.Rejected issues ->
+      invalid_arg
+        (Printf.sprintf "Campaign: tenant %s rejected: %s" tenant
+           (String.concat "; "
+              (List.map (fun i -> i.Scheduler.issue_message) issues)))
+  done;
+  List.iter
+    (fun tenant ->
+      List.iter
+        (fun p ->
+          match Scheduler.request_announce sched ~tenant p with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Campaign: " ^ e))
+        (Scheduler.leased_prefixes sched tenant))
+    (Scheduler.tenants sched);
+  ignore (Scheduler.pump sched);
+  let tenant_baseline =
+    List.map
+      (fun tenant ->
+        let p = List.hd (Scheduler.leased_prefixes sched tenant) in
+        (tenant, p, Testbed.reach_count w.tb p))
+      (Scheduler.tenants sched)
+  in
+  let tenants_recovered () =
+    List.for_all
+      (fun (_, p, base) -> Testbed.reach_count w.tb p = base)
+      tenant_baseline
+  in
+  let sample, dips = make_dip_tracker w in
+  let fault_horizon = 34.0 in
+  let plan =
+    Plan.of_steps
+      [ { Plan.at = 1.0;
+          fault = Plan.Mux_crash { mux = "mux:gatech01"; downtime = 20.0 }
+        };
+        { Plan.at = 8.0;
+          fault = Plan.Partition { link = "link:usc01"; duration = 25.0 }
+        };
+        { Plan.at = 10.0;
+          fault = Plan.Partition { link = "link:emu:fra-ams"; duration = 5.0 }
+        }
+      ]
+  in
+  let fault_start = Engine.now w.eng in
+  Injector.arm w.inj plan;
+  let settled =
+    wait_until w.eng
+      (fun () ->
+        sample ();
+        Engine.now w.eng >= fault_start +. fault_horizon
+        && world_recovered w && tenants_recovered ())
+      ~timeout:(fault_horizon +. 600.0)
+  in
+  Sink.stop_flight_recorder ();
+  let recovery_s =
+    match settled with Some at -> at -. fault_start | None -> Float.nan
+  in
+  let reconverged = settled <> None in
+  if reconverged then
+    Metrics.Histogram.observe (recovery_hist "multi_tenant") recovery_s;
+  let tenant_reaches =
+    List.map
+      (fun (tenant, p, base) -> (tenant, base, Testbed.reach_count w.tb p))
+      tenant_baseline
+  in
+  let tenant_lost =
+    List.fold_left
+      (fun acc (_, base, final) -> acc + max 0 (base - final))
+      0 tenant_reaches
+  in
+  { drill = "multi_tenant";
+    slo_class = "multi_tenant";
+    injected = List.map (fun (s : Plan.step) -> Plan.describe s.fault) plan;
+    reconverged;
+    recovery_s;
+    routes_lost = routes_lost w + tenant_lost;
+    tenant_reaches;
+    blast = collect_blast ~plan ~dips:(dips ()) ();
+    detail =
+      Printf.sprintf
+        "%d concurrent scheduled experiments; per-tenant reach restored: %b"
+        (List.length tenant_reaches) (tenant_lost = 0)
   }
 
 (* Dampening sweep: the same seeded flap workload against a grid of
@@ -747,6 +852,7 @@ let dampening_drill ~seed =
       reconverged = all_released;
       recovery_s = (if all_released then worst else Float.nan);
       routes_lost = 0;
+      tenant_reaches = [];
       blast =
         { by_target = [];
           by_site = [];
@@ -765,7 +871,9 @@ let dampening_drill ~seed =
 (* ------------------------------------------------------------------ *)
 (* Driver *)
 
-let drills = [ "compound"; "fate_group"; "cascade"; "leak_storm"; "dampening" ]
+let drills =
+  [ "compound"; "fate_group"; "cascade"; "leak_storm"; "dampening";
+    "multi_tenant" ]
 
 let drill_index name =
   let rec go i = function
@@ -791,6 +899,7 @@ let run_drill ~seed name =
   | "cascade" -> (cascade_drill ~seed, [])
   | "leak_storm" -> (leak_storm_drill ~seed, [])
   | "dampening" -> dampening_drill ~seed
+  | "multi_tenant" -> (multi_tenant_drill ~seed, [])
   | s -> invalid_arg (Printf.sprintf "Campaign: unknown drill %S" s)
 
 let slo_verdicts slos =
@@ -876,6 +985,16 @@ let outcome_json o =
       ("reconverged", Json.Bool o.reconverged);
       ("recovery_s", Json.Float o.recovery_s);
       ("routes_lost", Json.Int o.routes_lost);
+      ( "tenants",
+        Json.List
+          (List.map
+             (fun (tenant, base, final) ->
+               Json.Obj
+                 [ ("tenant", Json.String tenant);
+                   ("baseline_reach", Json.Int base);
+                   ("final_reach", Json.Int final)
+                 ])
+             o.tenant_reaches) );
       ("blast", blast_json o.blast);
       ("detail", Json.String o.detail)
     ]

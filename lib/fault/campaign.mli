@@ -55,7 +55,13 @@ type outcome = {
   reconverged : bool;
   recovery_s : float;  (** NaN when the drill never settled *)
   routes_lost : int;
-      (** summed baseline-reach shortfall at drill end; 0 required *)
+      (** summed baseline-reach shortfall at drill end (scheduled
+          tenants included); 0 required *)
+  tenant_reaches : (string * int * int) list;
+      (** [(tenant, baseline reach, final reach)] per scheduled
+          experiment, for drills that run the multi-tenant scheduler
+          (["multi_tenant"]); [[]] elsewhere. The per-tenant
+          zero-routes-lost SLO is [final = baseline] for every row. *)
   blast : blast;
   detail : string;
 }
@@ -96,7 +102,10 @@ val drills : string list
     (overlapping mux crashes with a mid-outage client failover
     re-export), ["leak_storm"] (RFC 7908 leak edges injected mid-run,
     blast radius = the pollution set), ["dampening"] (the RFC 2439
-    parameter sweep). *)
+    parameter sweep), ["multi_tenant"] (the compound plan fired under
+    20 concurrent {!Peering_core.Scheduler}-admitted experiments;
+    recovery additionally requires every tenant's per-prefix reach
+    back at its own baseline). *)
 
 val run_drill : seed:int -> string -> outcome * sweep_row list
 (** Run one drill on a fresh world. The sweep rows are non-empty only

@@ -57,6 +57,31 @@ let exercise seed =
     r.Campaign.slos;
   check (label "zero routes lost overall") r.Campaign.zero_routes_lost;
   check (label "campaign passed") r.Campaign.passed;
+  (* The multi-tenant drill fires the compound plan under >= 20
+     concurrent scheduler-admitted experiments; every tenant must end
+     the drill with its per-prefix reach exactly at its own baseline
+     (per-tenant zero routes lost), and its p99 recovery SLO class
+     must have been judged. *)
+  (let mt =
+     List.find
+       (fun (o : Campaign.outcome) -> o.Campaign.drill = "multi_tenant")
+       r.Campaign.outcomes
+   in
+   check
+     (label "multi_tenant ran >= 20 scheduled experiments")
+     (List.length mt.Campaign.tenant_reaches >= 20);
+   List.iter
+     (fun (tenant, base, final) ->
+       check
+         (label "multi_tenant %s reach restored (%d -> %d)" tenant base final)
+         (final = base && base > 0))
+     mt.Campaign.tenant_reaches;
+   check
+     (label "multi_tenant recovery SLO judged")
+     (List.exists
+        (fun (v : Campaign.slo_verdict) ->
+          v.Campaign.verdict_class = "multi_tenant")
+        r.Campaign.slos));
   (* Same seed, byte-identical report — blast radii and all. *)
   let _, json2 = run_report seed in
   check (label "same-seed report byte-identical") (String.equal json1 json2);

@@ -266,7 +266,8 @@ let test_safety_announce_after_release () =
   (match announce "c1" 0.0 with
   | Ok () -> ()
   | Error e -> Alcotest.failf "c1 blocked: %s" (Safety.reason_to_string e));
-  Safety.release s ~client:"c1" ~prefix:p;
+  check Alcotest.bool "first release succeeds" true
+    (Safety.release s ~client:"c1" ~prefix:p = Safety.Released);
   check Alcotest.(option string) "released" None (Safety.announced_by s p);
   (* releasing is not a flap: an immediate re-announce is fine *)
   (match announce "c1" 0.1 with
@@ -274,7 +275,7 @@ let test_safety_announce_after_release () =
   | Error e ->
     Alcotest.failf "re-announce after release blocked: %s"
       (Safety.reason_to_string e));
-  Safety.release s ~client:"c1" ~prefix:p;
+  ignore (Safety.release s ~client:"c1" ~prefix:p);
   (* another client may claim the prefix once it is released *)
   (match announce "c2" 1.0 with
   | Ok () -> ()
@@ -291,7 +292,7 @@ let test_safety_announce_after_release () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "third: %s" (Safety.reason_to_string e));
   Safety.note_withdraw s ~now:2.4 ~client:"c2" ~prefix:p;
-  Safety.release s ~client:"c2" ~prefix:p;
+  ignore (Safety.release s ~client:"c2" ~prefix:p);
   match announce "c2" 2.5 with
   | Error (Safety.Dampened until) ->
     check Alcotest.bool "reuse in future" true (until > 2.5)
@@ -1029,6 +1030,295 @@ let test_controller_v6 () =
         (Prefix6.equal first (List.hd exp2.Experiment.v6_prefixes))
     | Error err -> Alcotest.fail err)
 
+(* ------------------------------------------------------------------ *)
+(* Safety.release outcomes (ISSUE 9 regression): releases are
+   claim-keyed per (client, prefix); double releases and releases of
+   unclaimed prefixes must be explicit no-ops, and a foreign claim
+   must survive a release attempt by the wrong client. *)
+
+let test_safety_release_outcomes () =
+  let s = mk_safety () in
+  let exp = active_experiment () in
+  let p = pfx "184.164.224.0/24" in
+  (* release of a prefix nobody ever claimed *)
+  check Alcotest.bool "release of unclaimed is Not_claimed" true
+    (Safety.release s ~client:"c1" ~prefix:p = Safety.Not_claimed);
+  (match
+     Safety.check_announce s ~now:0.0 ~client:"c1" ~experiment:exp ~prefix:p
+       ~path_suffix:[]
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "announce blocked: %s" (Safety.reason_to_string e));
+  (* the wrong client cannot release someone else's claim ... *)
+  (match Safety.release s ~client:"intruder" ~prefix:p with
+  | Safety.Claimed_by_other owner ->
+    check Alcotest.string "claim names the owner" "c1" owner
+  | Safety.Released | Safety.Not_claimed ->
+    Alcotest.fail "wrong client's release was not refused");
+  (* ... and the registration survives the attempt *)
+  check Alcotest.(option string) "registration intact" (Some "c1")
+    (Safety.announced_by s p);
+  (* the claim holder releases; a second release is a double release *)
+  check Alcotest.bool "owner release succeeds" true
+    (Safety.release s ~client:"c1" ~prefix:p = Safety.Released);
+  check Alcotest.bool "double release is Not_claimed" true
+    (Safety.release s ~client:"c1" ~prefix:p = Safety.Not_claimed);
+  check Alcotest.(option string) "registry empty" None (Safety.announced_by s p)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: fair-share batcher laws (QCheck) *)
+
+(* Random workloads: a quota and a per-tenant demand vector. *)
+let gen_batcher_case =
+  QCheck.Gen.(
+    pair (int_range 1 5) (list_size (int_range 1 6) (int_range 0 25)))
+
+let arb_batcher_case =
+  QCheck.make
+    ~print:(fun (q, ds) ->
+      Printf.sprintf "quota=%d demands=[%s]" q
+        (String.concat ";" (List.map string_of_int ds)))
+    gen_batcher_case
+
+(* Deficit-round-robin fairness: after r rounds every tenant has been
+   granted exactly [min demand (r * quota)] slots, so two tenants that
+   both still have queued work never differ by more than one round's
+   quota — and FIFO order within a tenant is preserved. *)
+let prop_batcher_fair_share =
+  QCheck.Test.make ~name:"batcher fair share and FIFO" ~count:200
+    arb_batcher_case (fun (quota, demands) ->
+      let b = Scheduler.Batcher.create ~quota in
+      List.iteri
+        (fun i d ->
+          for s = 0 to d - 1 do
+            Scheduler.Batcher.enqueue b ~tenant:(Printf.sprintf "t%02d" i) (i, s)
+          done)
+        demands;
+      let rounds = Scheduler.Batcher.drain_all b in
+      let n = List.length demands in
+      let demand = Array.of_list demands in
+      let granted = Array.make n 0 in
+      let next_seq = Array.make n 0 in
+      let ok = ref true in
+      List.iteri
+        (fun r_idx round ->
+          let r = r_idx + 1 in
+          List.iter
+            (fun (tenant, ops) ->
+              let i = int_of_string (String.sub tenant 1 2) in
+              if List.length ops > quota then ok := false;
+              List.iter
+                (fun (ti, seq) ->
+                  (* FIFO within the tenant: sequence numbers in order *)
+                  if ti <> i || seq <> next_seq.(i) then ok := false;
+                  next_seq.(i) <- next_seq.(i) + 1;
+                  granted.(i) <- granted.(i) + 1)
+                ops)
+            round;
+          (* exact fair share at every round boundary *)
+          for i = 0 to n - 1 do
+            if granted.(i) <> min demand.(i) (r * quota) then ok := false
+          done;
+          (* the satellite's law as stated: tenants with remaining
+             demand never deviate by more than one batch *)
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              if granted.(i) < demand.(i) && granted.(j) < demand.(j) then
+                if abs (granted.(i) - granted.(j)) > quota then ok := false
+            done
+          done)
+        rounds;
+      (* everything drains, nothing is invented *)
+      for i = 0 to n - 1 do
+        if granted.(i) <> demand.(i) then ok := false
+      done;
+      !ok && Scheduler.Batcher.pending b = 0)
+
+(* FIFO must also survive enqueues interleaved with draining. *)
+let test_batcher_interleaved_fifo () =
+  let b = Scheduler.Batcher.create ~quota:2 in
+  List.iter (fun s -> Scheduler.Batcher.enqueue b ~tenant:"a" s) [ 0; 1; 2 ];
+  Scheduler.Batcher.enqueue b ~tenant:"b" 100;
+  let r1 = Scheduler.Batcher.drain_round b in
+  check
+    Alcotest.(list (pair string (list int)))
+    "round 1 grants quota per tenant, first-seen order"
+    [ ("a", [ 0; 1 ]); ("b", [ 100 ]) ]
+    r1;
+  List.iter (fun s -> Scheduler.Batcher.enqueue b ~tenant:"a" s) [ 3; 4 ];
+  Scheduler.Batcher.enqueue b ~tenant:"b" 101;
+  let rest = List.concat (Scheduler.Batcher.drain_all b) in
+  check
+    Alcotest.(list int)
+    "tenant a drains FIFO across interleaved enqueues"
+    [ 2; 3; 4 ]
+    (List.concat_map (fun (t, ops) -> if t = "a" then ops else []) rest);
+  check
+    Alcotest.(list int)
+    "tenant b drains FIFO" [ 101 ]
+    (List.concat_map (fun (t, ops) -> if t = "b" then ops else []) rest)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler: admission control, leases, isolation *)
+
+let sched_proposal = Scheduler.proposal
+
+let admit_ok sched p =
+  match Scheduler.admit sched p with
+  | Scheduler.Admitted _ -> ()
+  | Scheduler.Rejected issues ->
+    Alcotest.failf "%s rejected: %s" p.Scheduler.p_tenant
+      (String.concat "; "
+         (List.map (fun i -> i.Scheduler.issue_message) issues))
+
+let rejected_with sched p code =
+  match Scheduler.admit sched p with
+  | Scheduler.Admitted _ ->
+    Alcotest.failf "%s admitted; expected %s" p.Scheduler.p_tenant code
+  | Scheduler.Rejected issues ->
+    check Alcotest.bool
+      (Printf.sprintf "%s rejected with %s" p.Scheduler.p_tenant code)
+      true
+      (List.exists (fun i -> i.Scheduler.issue_code = code) issues)
+
+let test_sched_admission () =
+  let t = build () in
+  let sched =
+    Scheduler.create ~vet:Peering_check.Admission.vet ~quota:2
+      ~round_interval:0.5 t
+  in
+  admit_ok sched (sched_proposal "ten-a");
+  admit_ok sched (sched_proposal "ten-b");
+  check Alcotest.(list string) "both running" [ "ten-a"; "ten-b" ]
+    (Scheduler.tenants sched);
+  (* duplicate tenant id *)
+  rejected_with sched (sched_proposal "ten-a") "SCHED-DUP";
+  (* poisoning another live tenant's origin ASN is sabotage *)
+  let a_asns =
+    match Scheduler.client sched "ten-a" with
+    | Some c -> (Client.experiment c).Experiment.private_asns
+    | None -> Alcotest.fail "ten-a has no client"
+  in
+  rejected_with sched
+    (sched_proposal ~may_poison:true ~poison_targets:a_asns "ten-c")
+    "SCHED-XPOISON";
+  (* public poison targets without board approval *)
+  rejected_with sched
+    (sched_proposal ~poison_targets:[ asn 3356 ] "ten-d")
+    "SCHED-POISON";
+  (* rejected proposals must leave no allocation behind *)
+  let ctl = Testbed.controller t in
+  let before = Controller.available_blocks ctl in
+  rejected_with sched (sched_proposal "ten-a") "SCHED-DUP";
+  check Alcotest.int "no allocation leaked by rejection" before
+    (Controller.available_blocks ctl);
+  (* announce through the batcher; requests outside the lease refused *)
+  let pa = List.hd (Scheduler.leased_prefixes sched "ten-a") in
+  (match Scheduler.request_announce sched ~tenant:"ten-a" pa with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (match Scheduler.request_announce sched ~tenant:"ten-b" pa with
+  | Ok () -> Alcotest.fail "announce outside lease accepted"
+  | Error _ -> ());
+  (match Scheduler.request_announce sched ~tenant:"missing" pa with
+  | Ok () -> Alcotest.fail "announce for unknown tenant accepted"
+  | Error _ -> ());
+  ignore (Scheduler.pump sched);
+  check Alcotest.bool "announced prefix reaches the world" true
+    (Testbed.reach_count t pa > 0);
+  check Alcotest.int "no isolation violations" 0
+    (Scheduler.isolation_violations sched);
+  (* eviction returns the lease to the pool and withdraws the routes *)
+  let before = Controller.available_blocks ctl in
+  check Alcotest.bool "evict" true
+    (Scheduler.evict sched ~tenant:"ten-a" ~reason:"test revocation");
+  check Alcotest.bool "evicted tenant gone" false
+    (Scheduler.is_running sched "ten-a");
+  check Alcotest.int "lease returned to pool" (before + 1)
+    (Controller.available_blocks ctl);
+  check Alcotest.int "withdrawn on eviction" 0 (Testbed.reach_count t pa);
+  check Alcotest.(option string) "safety claim released" None
+    (Safety.announced_by (Testbed.safety t) pa)
+
+let test_sched_lease_expiry () =
+  let t = build () in
+  let eng = Testbed.engine t in
+  let sched = Scheduler.create ~quota:4 ~round_interval:0.5 t in
+  admit_ok sched (sched_proposal ~lease_s:20.0 "short-lease");
+  admit_ok sched (sched_proposal ~lease_s:20.0 "renewed");
+  let p = List.hd (Scheduler.leased_prefixes sched "short-lease") in
+  (match Scheduler.request_announce sched ~tenant:"short-lease" p with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Engine.run_for eng 5.0;
+  check Alcotest.bool "announced via engine-scheduled round" true
+    (Testbed.reach_count t p > 0);
+  (* a renewal pushes the second tenant past the first's expiry *)
+  (match Scheduler.renew sched ~tenant:"renewed" ~lease_s:60.0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Engine.run_for eng 20.0;  (* past t=20, before t=65 *)
+  check Alcotest.bool "expired lease evicts the tenant" false
+    (Scheduler.is_running sched "short-lease");
+  check Alcotest.bool "renewed tenant survives its old expiry" true
+    (Scheduler.is_running sched "renewed");
+  check Alcotest.int "expired tenant's routes withdrawn" 0
+    (Testbed.reach_count t p);
+  Engine.run_for eng 50.0;
+  check Alcotest.bool "renewed lease expires too" false
+    (Scheduler.is_running sched "renewed")
+
+let test_sched_policy_composition () =
+  let t = build () in
+  let sched = Scheduler.create t in
+  admit_ok sched (sched_proposal ~sites:[ "gatech01" ] "pol-a");
+  admit_ok sched (sched_proposal "pol-b");
+  let pa = List.hd (Scheduler.leased_prefixes sched "pol-a") in
+  let pb = List.hd (Scheduler.leased_prefixes sched "pol-b") in
+  (* in-scope policy on a connected site composes fine *)
+  (match
+     Scheduler.set_policy sched ~tenant:"pol-a"
+       [ { Scheduler.pol_dst = pa;
+           pol_action = Scheduler.Deliver_via "gatech01"
+         }
+       ]
+   with
+  | Ok () -> ()
+  | Error issues ->
+    Alcotest.failf "in-scope policy rejected: %s"
+      (String.concat "; "
+         (List.map (fun i -> i.Scheduler.issue_message) issues)));
+  check Alcotest.int "policy installed" 1
+    (List.length (Scheduler.policy sched "pol-a"));
+  let rejected_policy rules code =
+    match Scheduler.set_policy sched ~tenant:"pol-a" rules with
+    | Ok () -> Alcotest.failf "policy accepted; expected %s" code
+    | Error issues ->
+      check Alcotest.bool code true
+        (List.exists (fun i -> i.Scheduler.issue_code = code) issues)
+  in
+  (* matching another tenant's lease violates isolation *)
+  rejected_policy
+    [ { Scheduler.pol_dst = pb; pol_action = Scheduler.Drop_traffic } ]
+    "SCHED-POLICY-ISOLATION";
+  (* matching outside PEERING space entirely is out of scope *)
+  rejected_policy
+    [ { Scheduler.pol_dst = pfx "10.10.0.0/24";
+        pol_action = Scheduler.Drop_traffic
+      }
+    ]
+    "SCHED-POLICY-SCOPE";
+  (* delivering via a site the tenant is not connected to *)
+  rejected_policy
+    [ { Scheduler.pol_dst = pa;
+        pol_action = Scheduler.Deliver_via "amsterdam01"
+      }
+    ]
+    "SCHED-POLICY-SITE";
+  (* rejection installs nothing: the old policy survives *)
+  check Alcotest.int "rejected policy not installed" 1
+    (List.length (Scheduler.policy sched "pol-a"))
+
 let () =
   Alcotest.run "core"
     [ ( "controller",
@@ -1045,7 +1335,15 @@ let () =
           tc "dampening" `Quick test_safety_dampening;
           tc "dampened while registered" `Quick
             test_safety_dampened_while_registered;
-          tc "announce after release" `Quick test_safety_announce_after_release
+          tc "announce after release" `Quick test_safety_announce_after_release;
+          tc "release outcomes" `Quick test_safety_release_outcomes
+        ] );
+      ( "scheduler",
+        [ QCheck_alcotest.to_alcotest prop_batcher_fair_share;
+          tc "batcher interleaved FIFO" `Quick test_batcher_interleaved_fifo;
+          tc "admission" `Quick test_sched_admission;
+          tc "lease expiry" `Quick test_sched_lease_expiry;
+          tc "policy composition" `Quick test_sched_policy_composition
         ] );
       ("capability", [ tc "table 1 claims" `Quick test_capability_claims ]);
       ( "testbed",
