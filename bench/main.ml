@@ -1,7 +1,8 @@
 (* Benchmark harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index). Run with no arguments for all
    experiments, or pass a subset of: e1 e2 e3 f2 e4 t1 a1..a6 prop chaos
-   chaos-campaign mrt (scale the MRT dump with MRT_BENCH_PREFIXES,
+   chaos-campaign mrt sched bmp (scale the MRT dump with
+   MRT_BENCH_PREFIXES and the BMP feed with BMP_BENCH_PREFIXES, both
    default 1M).
    Pass --bechamel to additionally run microbenchmarks of the core
    primitives, and --json FILE to also write every paper-vs-measured
@@ -951,6 +952,114 @@ let mrt () =
          (t_eager /. t_cursor))
 
 (* ------------------------------------------------------------------ *)
+(* BMP: telemetry-plane throughput. One synthetic full-table feed —
+   Route Monitoring announces sharded over the mux's peers, the same
+   1M-prefix / 20-peer load the MRT experiment uses — is first encoded
+   (the mux's export path) and then pushed through a live
+   Peering_measure.Monitor in transport-sized chunks (the station's
+   ingest + reconstruction path). Scale with BMP_BENCH_PREFIXES. *)
+
+module Bmp = Peering_bgp.Bmp
+module Monitor = Peering_measure.Monitor
+
+let bmp () =
+  section "BMP  RFC 7854 telemetry: export and ingest throughput";
+  let n_prefixes =
+    match Sys.getenv_opt "BMP_BENCH_PREFIXES" with
+    | Some s -> int_of_string s
+    | None -> 1_000_000
+  in
+  let n_peers = 20 in
+  let peer_hdr i =
+    Bmp.make_peer_header
+      ~addr:(Ipv4.of_int (0x0A000001 + i))
+      ~asn:(Asn.of_int (64500 + i))
+      ~time:(1.0 +. (0.001 *. float_of_int i))
+      ()
+  in
+  let hdrs = Array.init n_peers peer_hdr in
+  let msg_of i =
+    let attrs =
+      Peering_bgp.Attrs.make
+        ~as_path:
+          (Peering_bgp.As_path.of_asns
+             [ Asn.of_int (64500 + (i mod n_peers));
+               Asn.of_int (64000 + (i mod 37));
+               Asn.of_int (65000 + (i mod 997))
+             ])
+        ~next_hop:(Ipv4.of_int (0x0A010001 + (i mod n_peers)))
+        ()
+    in
+    let p = Prefix.make (Ipv4.of_int (0x0400_0000 lor (i lsl 10))) 22 in
+    Bmp.Route_monitoring
+      { peer = hdrs.(i mod n_peers);
+        update =
+          { Peering_bgp.Message.withdrawn = [];
+            attrs = Some attrs;
+            nlri = [ (0, p) ]
+          }
+      }
+  in
+  (* Export path: per-message encode, streamed into one buffer. *)
+  let t0 = Unix.gettimeofday () in
+  let buf = Buffer.create (64 * 1024 * 1024) in
+  for i = 0 to n_prefixes - 1 do
+    Buffer.add_bytes buf (Bmp.encode (msg_of i))
+  done;
+  let feed = Buffer.to_bytes buf in
+  let t_enc = Unix.gettimeofday () -. t0 in
+  paper_vs_measured ~label:"BMP export (encode)" ~paper:"n/a"
+    ~measured:
+      (Printf.sprintf "%.0fk msgs/s (%d msgs, %.1f MB, %.2fs)"
+         (float_of_int n_prefixes /. t_enc /. 1000.0)
+         n_prefixes
+         (float_of_int (Bytes.length feed) /. 1048576.0)
+         t_enc);
+  (* Ingest path: the station reassembles frames from transport-sized
+     chunks and rebuilds the per-peer Adj-RIBs-In as it goes. *)
+  let mon = Monitor.create () in
+  let chunk = 64 * 1024 in
+  let total = Bytes.length feed in
+  let t0 = Unix.gettimeofday () in
+  let pos = ref 0 in
+  while !pos < total do
+    let len = min chunk (total - !pos) in
+    Monitor.feed mon ~mux:"bench" (Bytes.sub feed !pos len);
+    pos := !pos + len
+  done;
+  let t_ing = Unix.gettimeofday () -. t0 in
+  if Monitor.messages mon <> n_prefixes then
+    failwith "bmp bench: station lost messages";
+  if Monitor.parse_errors mon <> 0 then
+    failwith "bmp bench: parse errors in a clean feed";
+  paper_vs_measured ~label:"BMP ingest (decode + rebuild)" ~paper:"n/a"
+    ~measured:
+      (Printf.sprintf "%.0fk msgs/s (%d routes reconstructed, %.2fs)"
+         (float_of_int n_prefixes /. t_ing /. 1000.0)
+         (Monitor.route_count mon ~mux:"bench")
+         t_ing);
+  (* Reconstruction lag: how far the station runs behind a mux
+     replaying its full table flat out — the catch-up time for the
+     whole feed, and per message. *)
+  paper_vs_measured ~label:"reconstruction lag, full-table replay"
+    ~paper:"station must keep up with the mux (§3 monitoring)"
+    ~measured:
+      (Printf.sprintf "%.2fs behind a %.2fs export (%.2f us/msg)"
+         t_ing t_enc
+         (t_ing /. float_of_int n_prefixes *. 1e6));
+  let gc_mb =
+    float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * Sys.word_size / 8)
+    /. 1048576.0
+  in
+  match vm_hwm_mb () with
+  | Some hwm ->
+    paper_vs_measured ~label:"peak RSS (VmHWM, process-wide)" ~paper:"n/a"
+      ~measured:(Printf.sprintf "%.0f MB (GC top heap %.0f MB)" hwm gc_mb)
+  | None ->
+    paper_vs_measured ~label:"peak heap (GC top_heap_words)" ~paper:"n/a"
+      ~measured:(Printf.sprintf "%.0f MB" gc_mb)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks *)
 
 let bechamel () =
@@ -1159,7 +1268,7 @@ let all_experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("f2", f2); ("e4", e4); ("t1", t1);
     ("a1", a1); ("a2", a2); ("a3", a3); ("a4", a4); ("a5", a5); ("a6", a6);
     ("prop", prop); ("chaos", chaos); ("chaos-campaign", chaos_campaign);
-    ("mrt", mrt); ("sched", sched) ]
+    ("mrt", mrt); ("sched", sched); ("bmp", bmp) ]
 
 module Json = Peering_obs.Json
 module Metrics = Peering_obs.Metrics

@@ -10,7 +10,8 @@
      emulate    emulate a Topology Zoo backbone and converge it
      config     parse a Quagga-style configuration file and report
      check      statically analyze configs and experiment specs
-     stats      run an instrumented scenario and dump the metrics *)
+     stats      run an instrumented scenario and dump the metrics
+     monitor    stream BMP from every mux into the monitoring station *)
 
 open Cmdliner
 open Peering_net
@@ -613,6 +614,17 @@ let stats_cmd =
         Json.Obj
           [ ("schema", Json.String "peering-stats/1");
             ("seed", Json.Int seed);
+            ( "drops",
+              Json.Obj
+                [ ( "trace_buffer",
+                    Json.Int
+                      (Peering_obs.Metrics.counter_value "sim.trace.dropped")
+                  );
+                  ( "flight_recorder",
+                    Json.Int
+                      (Peering_obs.Metrics.counter_value "obs.flight.dropped")
+                  )
+                ] );
             ("metrics", Obs_report.to_json ());
             ( "trace",
               Json.Obj
@@ -628,6 +640,10 @@ let stats_cmd =
       List.iter
         (fun (subsystem, n) -> Printf.printf "  %-24s %d\n" subsystem n)
         (Trace.count_by_subsystem trace);
+      Printf.printf
+        "capacity drops: trace-buffer %d, flight-recorder %d\n"
+        (Peering_obs.Metrics.counter_value "sim.trace.dropped")
+        (Peering_obs.Metrics.counter_value "obs.flight.dropped");
       print_newline ();
       print_string (Obs_report.render ~include_volatile:true ())
     end
@@ -1093,6 +1109,262 @@ let sched_cmd =
           any isolation violation is detected.")
     Term.(const run $ seed_arg $ json_arg $ tenants_arg)
 
+let monitor_cmd =
+  let json_arg =
+    let doc =
+      "Emit the health report as a JSON document (byte-identical across \
+       identically seeded runs)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let module Metrics = Peering_obs.Metrics in
+  let module Json = Peering_obs.Json in
+  let module Window = Peering_obs.Window in
+  let module Monitor = Peering_measure.Monitor in
+  let module Collector = Peering_measure.Collector in
+  let module Campaign = Peering_fault.Campaign in
+  (* A deterministic scenario that exercises the whole telemetry
+     plane: every mux streams BMP to one station; routes are fed, one
+     mux crashes and recovers, and each detector sees exactly one
+     incident (a MOAS, an out-of-cone leak, a flap storm, a
+     reachability dip from the crash). *)
+  let run seed json =
+    Metrics.reset ();
+    let params = { Testbed.default_params with Testbed.seed } in
+    let t = Testbed.build ~params () in
+    let engine = Testbed.engine t in
+    let collector = Collector.create () in
+    let mon = Monitor.create ~collector () in
+    List.iter
+      (fun site ->
+        let srv = Testbed.site_server site in
+        Server.set_bmp_sink srv
+          (Some (Monitor.attach mon ~mux:(Server.name srv))))
+      (Testbed.sites t);
+    let fed =
+      List.fold_left
+        (fun acc site ->
+          acc
+          + Testbed.feed_peer_routes t ~site:(Testbed.site_name site)
+              ~max_per_peer:20 ())
+        0 (Testbed.sites t)
+    in
+    Engine.run_for engine 1.0;
+    (* Arm the detectors, then stage one incident per kind. *)
+    let site1 = List.hd (Testbed.sites t) in
+    let mux1 = Testbed.site_name site1 in
+    let srv1 = Testbed.site_server site1 in
+    let p1, p2 =
+      match Testbed.peers_at t mux1 with
+      | a :: b :: _ -> (a, b)
+      | _ -> failwith "monitor: site has fewer than two peers"
+    in
+    let moas_pfx = Prefix.of_string_exn "203.0.113.0/24" in
+    let leak_pfx = Prefix.of_string_exn "198.51.100.0/24" in
+    let flap_pfx = Prefix.of_string_exn "192.0.2.0/24" in
+    let dip_pfx = Prefix.of_string_exn "100.66.0.0/24" in
+    Monitor.watch_moas mon moas_pfx ~origin:(Asn.of_int 65010);
+    Monitor.allow_export mon ~mux:mux1 ~peer:p1 (fun pfx ->
+        Prefix.compare pfx leak_pfx <> 0);
+    Monitor.watch_flaps mon ~window_s:60.0 ~limit:6 flap_pfx;
+    Monitor.watch_reach mon dip_pfx ~floor:2;
+    (* MOAS: the legitimate origin, then a second origin. *)
+    Server.learn_route srv1 ~peer:p1 ~path:[ p1; Asn.of_int 65010 ] moas_pfx;
+    Engine.run_for engine 0.5;
+    Server.learn_route srv1 ~peer:p2 ~path:[ p2; Asn.of_int 65666 ] moas_pfx;
+    (* Leak: p1 exports a prefix outside its registered cone. *)
+    Server.learn_route srv1 ~peer:p1 ~path:[ p1; Asn.of_int 65020 ] leak_pfx;
+    (* Flap churn: four announce/withdraw cycles inside the window. *)
+    for _ = 1 to 4 do
+      Engine.run_for engine 0.5;
+      Server.learn_route srv1 ~peer:p2 ~path:[ p2; Asn.of_int 65030 ] flap_pfx;
+      Engine.run_for engine 0.5;
+      Server.withdraw_learned srv1 ~peer:p2 flap_pfx
+    done;
+    (* Reachability: two tables hold the prefix (arming the floor),
+       then the mux crashes and both vanish at once. *)
+    Server.learn_route srv1 ~peer:p1 ~path:[ p1; Asn.of_int 65040 ] dip_pfx;
+    Server.learn_route srv1 ~peer:p2 ~path:[ p2; Asn.of_int 65040 ] dip_pfx;
+    Engine.run_for engine 1.0;
+    Server.crash srv1;
+    Engine.run_for engine 5.0;
+    Server.restart srv1;
+    ignore (Testbed.feed_peer_routes t ~site:mux1 ~max_per_peer:20 ());
+    Engine.run_for engine 1.0;
+    (* Stats Reports for the reported-vs-reconstructed cross-check. *)
+    List.iter
+      (fun site -> Server.emit_bmp_stats (Testbed.site_server site))
+      (Testbed.sites t);
+    (* Reconstruction check: live RIB digest vs the station's. *)
+    let mux_rows =
+      List.map
+        (fun site ->
+          let srv = Testbed.site_server site in
+          let name = Server.name srv in
+          let live = Server.rib_digest srv in
+          let rebuilt = Monitor.rib_digest mon ~mux:name in
+          let stats_ok =
+            List.for_all
+              (fun (asn, bindings) ->
+                match
+                  Monitor.reported_routes mon ~mux:name
+                    ~peer:(Asn.of_int asn)
+                with
+                | Some n -> n = List.length bindings
+                | None -> false)
+              (Monitor.adj_rib_dump mon ~mux:name)
+          in
+          ( name,
+            Monitor.mux_up mon ~mux:name,
+            Monitor.route_count mon ~mux:name,
+            stats_ok,
+            live = rebuilt ))
+        (Testbed.sites t)
+    in
+    (* Windowed health: ingest rate over the last minute, SLO verdicts
+       for mux recovery (chaos campaign budget) and feed cadence. *)
+    let series = Monitor.series mon in
+    let rate = Window.Series.rate ~horizon_s:60.0 series in
+    let downtime_samples =
+      List.concat_map
+        (fun (r : Metrics.row) ->
+          if r.Metrics.name = "core.server.downtime_s" then
+            match r.Metrics.value with
+            | Metrics.Histogram_v { samples; _ } -> samples
+            | _ -> []
+          else [])
+        (Metrics.snapshot ~include_volatile:true ())
+    in
+    let recovery_budget =
+      match
+        List.find_opt
+          (fun s -> s.Campaign.slo_class = "compound")
+          Campaign.default_slos
+      with
+      | Some s -> s.Campaign.p99_budget_s
+      | None -> 90.0
+    in
+    let gaps =
+      let rec go acc = function
+        | (t1, _) :: ((t2, _) :: _ as rest) -> go ((t2 -. t1) :: acc) rest
+        | _ -> List.rev acc
+      in
+      go [] (Window.Series.to_list series)
+    in
+    let slos =
+      [ Window.Slo.evaluate ~name:"mux_recovery" ~budget_s:recovery_budget
+          (Window.Quantiles.of_list downtime_samples);
+        Window.Slo.evaluate ~name:"feed_gap" ~budget_s:5.0
+          (Window.Quantiles.of_list gaps)
+      ]
+    in
+    let alerts = Monitor.alerts mon in
+    if json then begin
+      let doc =
+        Json.Obj
+          [ ("schema", Json.String "peering-monitor/1");
+            ("seed", Json.Int seed);
+            ( "ingest",
+              Json.Obj
+                [ ("messages", Json.Int (Monitor.messages mon));
+                  ("bytes", Json.Int (Monitor.bytes_ingested mon));
+                  ("parse_errors", Json.Int (Monitor.parse_errors mon));
+                  ("routes_fed", Json.Int fed);
+                  ("rate_per_s", Json.Float rate)
+                ] );
+            ( "muxes",
+              Json.List
+                (List.map
+                   (fun (name, up, routes, stats_ok, digest_match) ->
+                     Json.Obj
+                       [ ("name", Json.String name);
+                         ("up", Json.Bool up);
+                         ("routes", Json.Int routes);
+                         ("stats_ok", Json.Bool stats_ok);
+                         ("digest_match", Json.Bool digest_match)
+                       ])
+                   mux_rows) );
+            ( "alerts",
+              Json.List
+                (List.map
+                   (fun (a : Monitor.alert) ->
+                     Json.Obj
+                       [ ("time", Json.Float a.Monitor.a_time);
+                         ( "kind",
+                           Json.String
+                             (Peering_obs.Event.alert_kind_to_string
+                                a.Monitor.a_kind) );
+                         ("mux", Json.String a.Monitor.a_mux);
+                         ( "prefix",
+                           Json.String (Prefix.to_string a.Monitor.a_prefix)
+                         );
+                         ("detail", Json.String a.Monitor.a_detail)
+                       ])
+                   alerts) );
+            ( "slos",
+              Json.List
+                (List.map
+                   (fun (v : Window.Slo.verdict) ->
+                     Json.Obj
+                       [ ("name", Json.String v.Window.Slo.slo_name);
+                         ("budget_s", Json.Float v.Window.Slo.budget_s);
+                         ("p99_s", Json.Float v.Window.Slo.p99_s);
+                         ("samples", Json.Int v.Window.Slo.samples);
+                         ("burn", Json.Float v.Window.Slo.burn);
+                         ("met", Json.Bool v.Window.Slo.met)
+                       ])
+                   slos) )
+          ]
+      in
+      print_endline (Json.to_string ~indent:2 doc)
+    end
+    else begin
+      Printf.printf
+        "ingest: %d BMP messages (%d bytes) from %d muxes, %d parse \
+         errors, %.2f msg/s over the last 60s\n"
+        (Monitor.messages mon)
+        (Monitor.bytes_ingested mon)
+        (List.length (Monitor.muxes mon))
+        (Monitor.parse_errors mon)
+        rate;
+      Printf.printf "\n%-16s %-5s %7s %9s  %s\n" "mux" "up" "routes"
+        "stats-ok" "reconstruction";
+      List.iter
+        (fun (name, up, routes, stats_ok, digest_match) ->
+          Printf.printf "%-16s %-5b %7d %9b  %s\n" name up routes stats_ok
+            (if digest_match then "byte-identical" else "DIVERGED"))
+        mux_rows;
+      Printf.printf "\nalerts (%d):\n" (List.length alerts);
+      List.iter
+        (fun (a : Monitor.alert) ->
+          Printf.printf "  t=%-8.2f %-16s %-14s %-18s %s\n" a.Monitor.a_time
+            (Peering_obs.Event.alert_kind_to_string a.Monitor.a_kind)
+            a.Monitor.a_mux
+            (Prefix.to_string a.Monitor.a_prefix)
+            a.Monitor.a_detail)
+        alerts;
+      Printf.printf "\n%-14s %10s %10s %8s %8s  %s\n" "slo" "p99_s"
+        "budget_s" "samples" "burn" "met";
+      List.iter
+        (fun (v : Window.Slo.verdict) ->
+          Printf.printf "%-14s %10.3f %10.3f %8d %8.3f  %b\n"
+            v.Window.Slo.slo_name v.Window.Slo.p99_s v.Window.Slo.budget_s
+            v.Window.Slo.samples v.Window.Slo.burn v.Window.Slo.met)
+        slos
+    end;
+    if List.exists (fun (_, _, _, _, m) -> not m) mux_rows then exit 1
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Run the live telemetry plane on a seeded testbed: every mux \
+          exports BMP (RFC 7854) to one monitoring station, which rebuilds \
+          the Adj-RIBs-In byte-identically, runs the anomaly detectors \
+          (MOAS, out-of-cone leak, flap churn, reachability dip) and \
+          reports windowed health with SLO burn rates. Exits 1 if any \
+          reconstruction diverges.")
+    Term.(const run $ seed_arg $ json_arg)
+
 let portal_cmd =
   let run seed =
     let params = { Testbed.default_params with Testbed.seed } in
@@ -1258,4 +1530,4 @@ let () =
        (Cmd.group info
           [ world_cmd; amsix_cmd; table1_cmd; demo_cmd; emulate_cmd;
             config_cmd; check_cmd; verify_cmd; portal_cmd; stats_cmd;
-            trace_cmd; chaos_cmd; sched_cmd; mrt_cmd ]))
+            trace_cmd; chaos_cmd; sched_cmd; monitor_cmd; mrt_cmd ]))

@@ -32,7 +32,23 @@ let m_auto_restarts =
   Metrics.counter ~help:"automatic session restarts scheduled after a close"
     "bgp.fsm.auto_restarts"
 
+(* Per-peer state gauge (RFC 4271 state ordinal, Established = 5) so
+   the registry can be cross-checked against the BMP Peer Up/Down feed
+   — the mux exporter publishes the same family keyed (site, peer). *)
+let fam_session_state =
+  Metrics.Family.gauge
+    ~help:"BGP session FSM state ordinal (0 Idle .. 5 Established)"
+    "bgp.session.state"
+
 type state = Idle | Connect | Active | Open_sent | Open_confirm | Established
+
+let state_ordinal = function
+  | Idle -> 0
+  | Connect -> 1
+  | Active -> 2
+  | Open_sent -> 3
+  | Open_confirm -> 4
+  | Established -> 5
 
 let state_to_string = function
   | Idle -> "Idle"
@@ -118,6 +134,9 @@ let peer_label t =
 let set_state t next =
   if t.state <> next then begin
     Metrics.Counter.inc m_transitions;
+    Metrics.Gauge.set
+      (Metrics.Family.get fam_session_state [ ("peer", peer_label t) ])
+      (float_of_int (state_ordinal next));
     if Sink.active () then
       Sink.emit ~time:(Engine.now t.engine) ~subsystem:"bgp.fsm"
         (Peering_obs.Event.Session_transition

@@ -46,6 +46,20 @@ let fam_downtime =
     ~help:"mux downtime per crash/restart cycle (virtual s)"
     "core.server.downtime_s"
 
+(* Same family name (and ordinal convention) as the FSM's per-peer
+   gauge, here keyed (peer, site): the mux's upstream sessions don't
+   run a full FSM, so the exporter publishes 5 (Established) on Peer
+   Up and 0 (Idle) on Peer Down — the registry-vs-BMP-feed
+   cross-check in the telemetry harness reads exactly this row. *)
+let fam_session_state =
+  Metrics.Family.gauge
+    ~help:"BGP session FSM state ordinal (0 Idle .. 5 Established)"
+    "bgp.session.state"
+
+let fam_bmp_msgs =
+  Metrics.Family.counter ~help:"BMP messages exported to the monitoring feed"
+    "core.server.bmp_msgs"
+
 type site_metrics = {
   m_client_connects : Metrics.Counter.t;
   m_routes_learned : Metrics.Counter.t;
@@ -56,6 +70,7 @@ type site_metrics = {
   m_restarts : Metrics.Counter.t;
   m_failovers : Metrics.Counter.t;
   m_downtime : Metrics.Histogram.t;
+  m_bmp_msgs : Metrics.Counter.t;
 }
 
 let site_metrics site =
@@ -68,7 +83,8 @@ let site_metrics site =
     m_crashes = Metrics.Family.get fam_crashes labels;
     m_restarts = Metrics.Family.get fam_restarts labels;
     m_failovers = Metrics.Family.get fam_failovers labels;
-    m_downtime = Metrics.Family.get fam_downtime labels
+    m_downtime = Metrics.Family.get fam_downtime labels;
+    m_bmp_msgs = Metrics.Family.get fam_bmp_msgs labels
   }
 
 type mux_mode = Per_peer_sessions | Add_path_mux
@@ -121,6 +137,14 @@ type t = {
   (* testbed injection hook: observe crash/restart transitions so the
      simulated Internet can route around a dead mux *)
   mutable status_hook : (bool -> unit) option;
+  (* live telemetry: encoded BMP messages are pushed here (the
+     monitoring station's feed).  Byte-level so lib/measure can consume
+     without a dependency on this module. *)
+  mutable bmp_sink : (bytes -> unit) option;
+  (* Adj-RIB-In changes since creation; every 100th also emits a
+     Stats Report for the changing peer, so stations track table sizes
+     live without a per-change report. *)
+  mutable bmp_changes : int;
 }
 
 let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
@@ -136,7 +160,9 @@ let create engine ~name ~asn ~safety ?(mux = Per_peer_sessions) ~export () =
     conns = [];
     up = true;
     crashed_at = None;
-    status_hook = None
+    status_hook = None;
+    bmp_sink = None;
+    bmp_changes = 0
   }
 
 let set_status_hook t hook = t.status_hook <- hook
@@ -144,6 +170,76 @@ let set_status_hook t hook = t.status_hook <- hook
 let name t = t.server_name
 let asn t = t.asn
 let mux_mode t = t.mux
+
+(* ------------------------------------------------------------------ *)
+(* BMP export (RFC 7854).  Every session and Adj-RIB-In change is
+   mirrored onto the byte sink as an encoded BMP message; the
+   monitoring station reconstructs the mux's per-peer tables from
+   nothing but this stream. *)
+
+let bmp_emit t m =
+  match t.bmp_sink with
+  | None -> ()
+  | Some f ->
+    Metrics.Counter.inc t.m.m_bmp_msgs;
+    f (Bmp.encode m)
+
+(* The mux side of every monitored session, a stable synthetic
+   address (100.64.0.1, RFC 6598 space). *)
+let bmp_local_addr = Ipv4.of_octets 100 64 0 1
+
+let bmp_open ~asn ~router_id =
+  { Message.version = 4;
+    asn;
+    hold_time = 90;
+    router_id;
+    capabilities = [ Capability.Four_octet_asn (Asn.to_int asn) ]
+  }
+
+let bmp_peer_hdr ?time t p =
+  Bmp.make_peer_header ~addr:p.addr ~asn:p.peer_asn ~bgp_id:p.addr
+    ~time:(Option.value time ~default:(Engine.now t.engine))
+    ()
+
+let session_gauge t p =
+  Metrics.Family.get fam_session_state
+    [ ("peer", Asn.to_string p.peer_asn); ("site", t.server_name) ]
+
+let bmp_peer_up t p =
+  Metrics.Gauge.set (session_gauge t p) 5.0;
+  bmp_emit t
+    (Bmp.Peer_up
+       { peer = bmp_peer_hdr t p;
+         local_addr = bmp_local_addr;
+         local_port = 179;
+         remote_port = 179;
+         sent_open = bmp_open ~asn:t.asn ~router_id:bmp_local_addr;
+         recv_open = bmp_open ~asn:p.peer_asn ~router_id:p.addr
+       })
+
+let bmp_peer_down t p ~reason =
+  Metrics.Gauge.set (session_gauge t p) 0.0;
+  bmp_emit t (Bmp.Peer_down { peer = bmp_peer_hdr t p; reason })
+
+(* Route Monitoring frames carry the route's own [learned_at] in the
+   per-peer header, so the reconstructed table's timestamps equal the
+   live table's (at the wire's µs precision). *)
+let bmp_route t p (route : Route.t) =
+  let update =
+    { Message.withdrawn = [];
+      attrs = Some route.Route.attrs;
+      nlri = [ (route.Route.path_id, route.Route.prefix) ]
+    }
+  in
+  bmp_emit t
+    (Bmp.Route_monitoring
+       { peer = bmp_peer_hdr ~time:route.Route.learned_at t p; update })
+
+let bmp_withdraw t p prefix =
+  let update =
+    { Message.withdrawn = [ (0, prefix) ]; attrs = None; nlri = [] }
+  in
+  bmp_emit t (Bmp.Route_monitoring { peer = bmp_peer_hdr t p; update })
 
 let default_peer_addr asn =
   (* A stable synthetic session address per peer ASN. *)
@@ -155,7 +251,9 @@ let add_peer t ~kind ?addr peer_asn =
   if List.exists (fun p -> Asn.equal p.peer_asn peer_asn) t.peer_list then
     invalid_arg "Server.add_peer: duplicate peer";
   let addr = Option.value addr ~default:(default_peer_addr peer_asn) in
-  t.peer_list <- t.peer_list @ [ { peer_asn; kind; addr } ]
+  let p = { peer_asn; kind; addr } in
+  t.peer_list <- t.peer_list @ [ p ];
+  if t.up then bmp_peer_up t p
 
 let peers t = t.peer_list
 let peer_asns t = List.map (fun p -> p.peer_asn) t.peer_list
@@ -175,6 +273,38 @@ let peer_table t peer_asn =
     let r = ref Prefix.Map.empty in
     Hashtbl.replace t.learned (Asn.to_int peer_asn) r;
     r
+
+let bmp_stats_peer t p =
+  let n = Prefix.Map.cardinal !(peer_table t p.peer_asn) in
+  bmp_emit t
+    (Bmp.Stats_report
+       { peer = bmp_peer_hdr t p;
+         stats =
+           [ { Bmp.stat_type = Bmp.stat_routes_adj_rib_in; stat_value = n } ]
+       })
+
+let emit_bmp_stats t =
+  if t.up then List.iter (fun p -> bmp_stats_peer t p) t.peer_list
+
+(* State-sync on attach, mirroring what a BMP speaker sends a station
+   that connects mid-flight (RFC 7854 §3.3): Initiation, a Peer Up per
+   established session, the current Adj-RIB-In as Route Monitoring,
+   then a Stats Report per peer.  This is what makes attachment
+   order-independent: a monitor attached after routes were learned
+   reconstructs the same table as one attached before. *)
+let bmp_sync t =
+  bmp_emit t
+    (Bmp.Initiation { info = [ (1, "peering mux"); (2, t.server_name) ] });
+  List.iter
+    (fun p ->
+      bmp_peer_up t p;
+      Prefix.Map.iter (fun _ route -> bmp_route t p route) !(peer_table t p.peer_asn);
+      bmp_stats_peer t p)
+    t.peer_list
+
+let set_bmp_sink t sink =
+  t.bmp_sink <- sink;
+  if Option.is_some sink && t.up then bmp_sync t
 
 let replay_to conn t =
   match conn.callbacks with
@@ -313,6 +443,9 @@ let learn_route t ~peer ~path prefix =
     let table = peer_table t peer in
     table := Prefix.Map.add prefix route !table;
     Metrics.Counter.inc t.m.m_routes_learned;
+    bmp_route t p route;
+    t.bmp_changes <- t.bmp_changes + 1;
+    if t.bmp_changes mod 100 = 0 then bmp_stats_peer t p;
     List.iter
       (fun conn ->
         match conn.callbacks with
@@ -326,6 +459,12 @@ let withdraw_learned t ~peer prefix =
   let table = peer_table t peer in
   if t.up && Prefix.Map.mem prefix !table then begin
     table := Prefix.Map.remove prefix !table;
+    (match peer_of_asn t peer with
+    | Some p ->
+      bmp_withdraw t p prefix;
+      t.bmp_changes <- t.bmp_changes + 1;
+      if t.bmp_changes mod 100 = 0 then bmp_stats_peer t p
+    | None -> ());
     List.iter
       (fun conn ->
         match conn.callbacks with
@@ -348,6 +487,10 @@ let crash t =
        safety registry) live in the controller and survive. *)
     Hashtbl.reset t.learned;
     Metrics.Counter.inc t.m.m_crashes;
+    (* Every monitored session dies with the process: Peer Down per
+       peer (reason 2, local system closed), then Termination. *)
+    List.iter (fun p -> bmp_peer_down t p ~reason:2) t.peer_list;
+    bmp_emit t (Bmp.Termination { info = [ (0, "bgp process down") ] });
     match t.status_hook with Some f -> f false | None -> ()
   end
 
@@ -359,6 +502,14 @@ let restart t =
     | Some at -> Metrics.Histogram.observe t.m.m_downtime (Engine.now t.engine -. at)
     | None -> ());
     t.crashed_at <- None;
+    (* The restarted process re-initiates its monitoring feed; the
+       Adj-RIBs-In are empty until the testbed re-feeds them, so no
+       Route Monitoring is replayed here. *)
+    if Option.is_some t.bmp_sink then begin
+      bmp_emit t
+        (Bmp.Initiation { info = [ (1, "peering mux"); (2, t.server_name) ] })
+    end;
+    List.iter (fun p -> bmp_peer_up t p) t.peer_list;
     (match t.status_hook with Some f -> f true | None -> ());
     (* Failover: re-issue every client's surviving announcements so
        Adj-RIBs-Out resynchronize without client involvement. Each
@@ -388,6 +539,25 @@ let learned_route_count t =
 
 let routes_from_peer t peer =
   Prefix.Map.cardinal !(peer_table t peer)
+
+(* Canonical Adj-RIB-In dump: per-peer bindings sorted by peer ASN,
+   empty tables dropped (a withdraw-only peer leaves an empty map
+   behind), [learned_at] truncated to the µs the BMP wire can carry.
+   The monitoring station produces the identical structure from the
+   feed alone, and the @bmp-diff harness compares Marshal digests. *)
+let adj_rib_dump t =
+  Hashtbl.fold (fun asn table acc -> (asn, !table) :: acc) t.learned []
+  |> List.filter (fun (_, m) -> not (Prefix.Map.is_empty m))
+  |> List.map (fun (asn, m) ->
+         ( asn,
+           List.map
+             (fun (pfx, r) ->
+               (pfx, { r with Route.learned_at = Bmp.canon_time r.Route.learned_at }))
+             (Prefix.Map.bindings m) ))
+  |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+
+let rib_digest t =
+  Digest.to_hex (Digest.string (Marshal.to_string (adj_rib_dump t) [ Marshal.No_sharing ]))
 
 type session_stats = {
   mode : mux_mode;

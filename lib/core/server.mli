@@ -131,6 +131,36 @@ val set_status_hook : t -> (bool -> unit) option -> unit
     mark the mux's site unreachable in the simulated Internet while
     the BGP process is down. *)
 
+val set_bmp_sink : t -> (bytes -> unit) option -> unit
+(** Attach (or detach) the live telemetry feed: every session and
+    Adj-RIB-In change is pushed to the sink as one encoded
+    {!Peering_bgp.Bmp} message.  On attach the server state-syncs like
+    a BMP speaker greeting a station (RFC 7854 §3.3) — Initiation,
+    Peer Up per peer, the current Adj-RIB-In as Route Monitoring, a
+    Stats Report per peer — so attachment order doesn't affect what
+    the station reconstructs.  Thereafter: {!learn_route} emits a
+    Route Monitoring announce stamped with the route's [learned_at],
+    {!withdraw_learned} a withdraw, {!crash} a Peer Down (reason 2)
+    per peer plus Termination, {!restart} a fresh Initiation and Peer
+    Ups, and every 100th table change a Stats Report.  The sink takes
+    bytes, not messages, so consumers (lib/measure) need no dependency
+    on this module. *)
+
+val emit_bmp_stats : t -> unit
+(** Push one Stats Report per peer (stat 7, routes in Adj-RIB-In) to
+    the BMP sink now.  No-op while crashed or with no sink. *)
+
+val adj_rib_dump : t -> (int * (Prefix.t * Peering_bgp.Route.t) list) list
+(** Canonical Adj-RIB-In snapshot: [(peer ASN, sorted bindings)]
+    sorted by ASN, empty per-peer tables dropped, [learned_at]
+    truncated to the microsecond precision the BMP wire carries
+    ({!Peering_bgp.Bmp.canon_time}).  {!Peering_measure.Monitor}
+    produces the identical structure from the feed alone. *)
+
+val rib_digest : t -> string
+(** Hex Marshal digest of {!adj_rib_dump} — the live side of the
+    [@bmp-diff] byte-identity check. *)
+
 type session_stats = {
   mode : mux_mode;
   n_peers : int;

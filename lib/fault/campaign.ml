@@ -155,8 +155,9 @@ let emu_converged emu =
 let client_node = "cl:probe"
 let mux_node site = "mx:" ^ site
 
-let make_world ~seed =
+let make_world ?(on_world = fun _ -> ()) ~seed () =
   let tb = Testbed.build ~params:{ Testbed.default_params with seed } () in
+  on_world tb;
   let eng = Testbed.engine tb in
   let inj = Injector.create eng in
   (* Every mux is a crash target. *)
@@ -374,10 +375,10 @@ let collect_blast ?(plan = []) ~dips () =
 (* Run [body] (which arms faults and drives the engine) under a fresh
    flight recorder, measuring recovery against [world_recovered]. *)
 let drill_harness ~drill ~slo_class ~plan ~fault_horizon ?(extra_timeout = 600.)
-    ?(body = fun _ -> ()) ~seed () =
+    ?(body = fun _ -> ()) ?on_world ~seed () =
   Span.reset ();
   Sink.start_flight_recorder ();
-  let w = make_world ~seed in
+  let w = make_world ?on_world ~seed () in
   let sample, dips = make_dip_tracker w in
   let fault_start = Engine.now w.eng in
   Injector.arm w.inj plan;
@@ -419,7 +420,7 @@ let drill_harness ~drill ~slo_class ~plan ~fault_horizon ?(extra_timeout = 600.)
 
 (* Compound: a mux restart with a wire partition opening mid-downtime
    and a short emulation partition nested inside that window. *)
-let compound_drill ~seed =
+let compound_drill ?on_world ~seed () =
   let plan =
     Plan.of_steps
       [ { Plan.at = 1.0;
@@ -436,7 +437,7 @@ let compound_drill ~seed =
   in
   let w, o =
     drill_harness ~drill:"compound" ~slo_class:"compound" ~plan
-      ~fault_horizon:34.0 ~seed ()
+      ~fault_horizon:34.0 ?on_world ~seed ()
   in
   let gatech_reach =
     match w.baseline with (p, _) :: _ -> Testbed.reach_count w.tb p | [] -> 0
@@ -451,7 +452,7 @@ let compound_drill ~seed =
 
 (* Fate group: every site tunnel blackholes at the same instant (one
    conduit cut), watched by a 2 Hz probe stream per tunnel. *)
-let fate_group_drill ~seed =
+let fate_group_drill ?on_world ~seed () =
   let duration = 12.0 in
   let plan =
     Plan.of_steps
@@ -496,7 +497,7 @@ let fate_group_drill ~seed =
   in
   let _w, o =
     drill_harness ~drill:"fate_group" ~slo_class:"fate_group" ~plan
-      ~fault_horizon:(5.0 +. duration) ~body ~seed ()
+      ~fault_horizon:(5.0 +. duration) ~body ?on_world ~seed ()
   in
   let total_delivered =
     Hashtbl.fold (fun _ n acc -> acc + n) delivered 0
@@ -517,7 +518,7 @@ let fate_group_drill ~seed =
    fails over by re-exporting its prefix at a surviving site, then
    withdraws the failover after recovery so the baseline is restored
    exactly. *)
-let cascade_drill ~seed =
+let cascade_drill ?on_world ~seed () =
   let plan =
     Plan.of_steps
       [ { Plan.at = 1.0;
@@ -551,7 +552,7 @@ let cascade_drill ~seed =
   in
   let _w, o =
     drill_harness ~drill:"cascade" ~slo_class:"cascade" ~plan
-      ~fault_horizon:26.0 ~body ~seed ()
+      ~fault_horizon:26.0 ~body ?on_world ~seed ()
   in
   { o with
     reconverged = o.reconverged && !refused_down && !failover_ok;
@@ -565,10 +566,10 @@ let cascade_drill ~seed =
    repropagation switches to the general engine, and the pollution set
    is the measured blast radius; clearing the leaks must restore the
    valley-free baseline exactly. *)
-let leak_storm_drill ~seed =
+let leak_storm_drill ?on_world ~seed () =
   Span.reset ();
   Sink.start_flight_recorder ();
-  let w = make_world ~seed in
+  let w = make_world ?on_world ~seed () in
   let sample, dips = make_dip_tracker w in
   let g = Testbed.graph w.tb in
   (* Deterministic leakers: the first ASes (ascending) with at least
@@ -647,10 +648,10 @@ let leak_storm_drill ~seed =
    /24 announced from every site. Recovery requires the usual world
    predicate AND every tenant's per-prefix reach back at its own
    baseline — the per-tenant zero-routes-lost SLO. *)
-let multi_tenant_drill ~seed =
+let multi_tenant_drill ?on_world ~seed () =
   Span.reset ();
   Sink.start_flight_recorder ();
-  let w = make_world ~seed in
+  let w = make_world ?on_world ~seed () in
   let n_tenants = 20 in
   let sched = Scheduler.create ~quota:4 ~round_interval:0.5 w.tb in
   for i = 0 to n_tenants - 1 do
@@ -892,14 +893,14 @@ type report = {
   passed : bool;
 }
 
-let run_drill ~seed name =
+let run_drill ?on_world ~seed name =
   match name with
-  | "compound" -> (compound_drill ~seed, [])
-  | "fate_group" -> (fate_group_drill ~seed, [])
-  | "cascade" -> (cascade_drill ~seed, [])
-  | "leak_storm" -> (leak_storm_drill ~seed, [])
+  | "compound" -> (compound_drill ?on_world ~seed (), [])
+  | "fate_group" -> (fate_group_drill ?on_world ~seed (), [])
+  | "cascade" -> (cascade_drill ?on_world ~seed (), [])
+  | "leak_storm" -> (leak_storm_drill ?on_world ~seed (), [])
   | "dampening" -> dampening_drill ~seed
-  | "multi_tenant" -> (multi_tenant_drill ~seed, [])
+  | "multi_tenant" -> (multi_tenant_drill ?on_world ~seed (), [])
   | s -> invalid_arg (Printf.sprintf "Campaign: unknown drill %S" s)
 
 let slo_verdicts slos =

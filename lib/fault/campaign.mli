@@ -107,9 +107,18 @@ val drills : string list
     recovery additionally requires every tenant's per-prefix reach
     back at its own baseline). *)
 
-val run_drill : seed:int -> string -> outcome * sweep_row list
-(** Run one drill on a fresh world. The sweep rows are non-empty only
-    for ["dampening"]. Raises [Invalid_argument] on unknown names. *)
+val run_drill :
+  ?on_world:(Peering_core.Testbed.t -> unit) ->
+  seed:int ->
+  string ->
+  outcome * sweep_row list
+(** Run one drill on a fresh world. [on_world] is called with the
+    drill's testbed right after it is built and before any fault is
+    armed — the BMP differential harness uses it to attach a
+    {!Peering_measure.Monitor} to every mux inside the drill
+    (["dampening"] builds no testbed and ignores it). The sweep rows
+    are non-empty only for ["dampening"]. Raises [Invalid_argument] on
+    unknown names. *)
 
 type report = {
   seed : int;

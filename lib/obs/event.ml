@@ -4,6 +4,14 @@ type level = Debug | Info | Warn
 
 type verdict = Accepted | Rejected of string
 
+type alert_kind = Moas | Out_of_cone_leak | Flap_churn | Reach_dip
+
+let alert_kind_to_string = function
+  | Moas -> "moas"
+  | Out_of_cone_leak -> "out_of_cone_leak"
+  | Flap_churn -> "flap_churn"
+  | Reach_dip -> "reach_dip"
+
 type t =
   | Session_transition of {
       peer : string;
@@ -29,6 +37,12 @@ type t =
   | Tunnel_forward of { tunnel : string; bytes : int }
   | Fault_injected of { target : string; fault : string }
   | Recovered of { target : string; after_s : float }
+  | Monitor_alert of {
+      kind : alert_kind;
+      mux : string;
+      prefix : Prefix.t;
+      detail : string;
+    }
   | Ad_hoc of string
 
 let label = function
@@ -42,6 +56,7 @@ let label = function
   | Tunnel_forward _ -> "tunnel_forward"
   | Fault_injected _ -> "fault_injected"
   | Recovered _ -> "recovered"
+  | Monitor_alert _ -> "monitor_alert"
   | Ad_hoc _ -> "ad_hoc"
 
 let to_string = function
@@ -77,6 +92,10 @@ let to_string = function
     Printf.sprintf "fault on %s: %s" target fault
   | Recovered { target; after_s } ->
     Printf.sprintf "%s recovered after %.3fs" target after_s
+  | Monitor_alert { kind; mux; prefix; detail } ->
+    Printf.sprintf "monitor alert [%s] %s at %s: %s"
+      (alert_kind_to_string kind)
+      (Prefix.to_string prefix) mux detail
   | Ad_hoc s -> s
 
 let level_to_string = function

@@ -16,6 +16,19 @@ type verdict =
   | Accepted
   | Rejected of string  (** the safety layer's reason, rendered *)
 
+(** What a live monitoring-station detector fired on
+    (see {!Peering_measure.Monitor}). *)
+type alert_kind =
+  | Moas  (** a watched prefix announced from an unexpected origin AS *)
+  | Out_of_cone_leak
+      (** a peer announced a prefix outside its allowed-export cone *)
+  | Flap_churn  (** announce/withdraw churn past the flap limit *)
+  | Reach_dip  (** a watched prefix's reach fell below its floor *)
+
+val alert_kind_to_string : alert_kind -> string
+(** ["moas"], ["out_of_cone_leak"], ["flap_churn"] or ["reach_dip"] —
+    the stable label used in alert rows and metric labels. *)
+
 type t =
   | Session_transition of {
       peer : string;  (** remote identity, once known; ["?"] before OPEN *)
@@ -50,6 +63,12 @@ type t =
   | Recovered of { target : string; after_s : float }
       (** A faulted target returned to its converged state, [after_s]
           virtual seconds after the fault cleared. *)
+  | Monitor_alert of {
+      kind : alert_kind;
+      mux : string;  (** the mux whose BMP feed triggered the detector *)
+      prefix : Prefix.t;
+      detail : string;  (** rendered specifics (origins, peer, counts) *)
+    }  (** A live detector on the monitoring station fired. *)
   | Ad_hoc of string  (** free-form fallback; the old string events *)
 
 val to_string : t -> string

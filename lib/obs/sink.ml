@@ -23,6 +23,12 @@ let emit ?time ?(level = Event.Info) ?span ~subsystem ev =
 (* ------------------------------------------------------------------ *)
 (* Flight recorder *)
 
+(* Drops are also a metric row so `peering_cli stats` surfaces them
+   without callers having to poll [flight_dropped]. *)
+let m_flight_dropped =
+  Metrics.counter ~help:"flight-recorder spans dropped at capacity"
+    "obs.flight.dropped"
+
 let default_capacity = 65_536
 
 type flight = {
@@ -38,7 +44,8 @@ let record_completed sp =
     Queue.push sp flight.buf;
     if Queue.length flight.buf > flight.capacity then begin
       ignore (Queue.pop flight.buf);
-      flight.dropped <- flight.dropped + 1
+      flight.dropped <- flight.dropped + 1;
+      Metrics.Counter.inc m_flight_dropped
     end
   end
 

@@ -1,5 +1,13 @@
 module Event = Peering_obs.Event
 module Sink = Peering_obs.Sink
+module Metrics = Peering_obs.Metrics
+
+(* Buffer evictions are counted per instance ([dropped]) and as a
+   process-wide metric row, so `peering_cli stats` shows when the
+   trace window was too small for what the run produced. *)
+let m_dropped =
+  Metrics.counter ~help:"trace-buffer events dropped at capacity"
+    "sim.trace.dropped"
 
 type level = Event.level = Debug | Info | Warn
 
@@ -24,7 +32,8 @@ let record_ev t ?span ~time ~level ~subsystem ev =
   Queue.push { time; level; subsystem; span; ev } t.buf;
   if Queue.length t.buf > t.capacity then begin
     ignore (Queue.pop t.buf);
-    t.dropped <- t.dropped + 1
+    t.dropped <- t.dropped + 1;
+    Metrics.Counter.inc m_dropped
   end
 
 let record t ~time ~level ~subsystem message =

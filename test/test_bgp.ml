@@ -1120,6 +1120,142 @@ let test_fsm_rejects_bad_version () =
   check Alcotest.bool "closed on bad version" true !closed;
   check Alcotest.bool "idle" true (Fsm.state fsm = Fsm.Idle)
 
+(* ------------------------------------------------------------------ *)
+(* BMP (RFC 7854) *)
+
+let bmp_peer =
+  Bmp.make_peer_header ~addr:(ip "100.65.0.1") ~asn:(asn 65010)
+    ~bgp_id:(ip "10.10.0.1") ~time:12.345678 ()
+
+let bmp_corpus =
+  [ Bmp.Route_monitoring
+      { peer = bmp_peer;
+        update =
+          { Message.withdrawn = [ (0, pfx "203.0.113.0/24") ];
+            attrs = Some sample_attrs;
+            nlri = [ (0, pfx "184.164.224.0/24"); (0, pfx "184.164.225.0/24") ]
+          }
+      };
+    Bmp.Stats_report
+      { peer = bmp_peer;
+        stats =
+          [ { Bmp.stat_type = 0; stat_value = 3 };
+            { Bmp.stat_type = Bmp.stat_routes_adj_rib_in;
+              stat_value = 1_000_000_007
+            }
+          ]
+      };
+    Bmp.Peer_down { peer = bmp_peer; reason = 2 };
+    Bmp.Peer_up
+      { peer = bmp_peer;
+        local_addr = ip "100.65.0.254";
+        local_port = 179;
+        remote_port = 42123;
+        sent_open =
+          { Message.version = 4;
+            asn = asn 47065;
+            hold_time = 90;
+            router_id = ip "10.10.0.254";
+            capabilities = [ Capability.Four_octet_asn 47065 ]
+          };
+        recv_open =
+          { Message.version = 4;
+            asn = asn 65010;
+            hold_time = 180;
+            router_id = ip "10.10.0.1";
+            capabilities =
+              [ Capability.Four_octet_asn 65010; Capability.Route_refresh ]
+          }
+      };
+    Bmp.Initiation { info = [ (2, "amsterdam01"); (1, "peering mux") ] };
+    Bmp.Termination { info = [ (0, "shutting down") ] }
+  ]
+
+(* Every message type: encode → decode returns the message, consumes
+   exactly the frame, re-encodes byte-identically — and the eager
+   reference decoder agrees on all of it. *)
+let test_bmp_roundtrip () =
+  List.iter
+    (fun msg ->
+      let b = Bmp.encode msg in
+      let name = Bmp.msg_type_name (Bmp.msg_type msg) in
+      match (Bmp.decode b ~pos:0, Bmp.decode_eager b ~pos:0) with
+      | Ok (m, n), Ok (m', n') ->
+        check Alcotest.int (name ^ ": consumed") (Bytes.length b) n;
+        check Alcotest.int (name ^ ": eager consumed") n n';
+        check Alcotest.bool (name ^ ": decoders agree") true (m = m');
+        check Alcotest.int (name ^ ": type preserved") (Bmp.msg_type msg)
+          (Bmp.msg_type m);
+        check Alcotest.bool (name ^ ": re-encode byte-identical") true
+          (Bytes.equal b (Bmp.encode m))
+      | _ -> Alcotest.failf "%s: decode failed" name)
+    bmp_corpus;
+  (* encode_all frames a feed fragment that decodes back in order *)
+  let feed = Bmp.encode_all bmp_corpus in
+  let rec drain pos acc =
+    if pos >= Bytes.length feed then List.rev acc
+    else
+      match Bmp.decode feed ~pos with
+      | Ok (m, n) -> drain n (m :: acc)
+      | Error e -> Alcotest.failf "feed: %s" (Bmp.error_to_string e)
+  in
+  check
+    Alcotest.(list int)
+    "feed preserves order" [ 0; 1; 2; 3; 4; 5 ]
+    (List.map Bmp.msg_type (drain 0 []))
+
+let test_bmp_canon_time () =
+  List.iter
+    (fun t ->
+      let c = Bmp.canon_time t in
+      check (Alcotest.float 1e-12) "idempotent" c (Bmp.canon_time c);
+      check (Alcotest.float 1e-12) "header timestamp is canonical" c
+        (Bmp.time (Bmp.make_peer_header ~addr:(ip "10.0.0.1") ~asn:(asn 1) ~time:t ()));
+      check Alcotest.bool "within a microsecond" true (Float.abs (c -. t) < 1e-6))
+    [ 0.0; 12.345678; 1e6 +. 0.9999995; 3.0000004 ];
+  (* peer_of picks out the header on peer-scoped messages only *)
+  check Alcotest.bool "peer_of route_monitoring" true
+    (Bmp.peer_of (List.hd bmp_corpus) = Some bmp_peer);
+  check Alcotest.bool "peer_of initiation" true
+    (Bmp.peer_of (Bmp.Initiation { info = [] }) = None)
+
+(* Truncations and single-byte corruptions of valid frames: both
+   decoders must return the same verdict — identical messages or the
+   identical [error] — and never raise. *)
+let prop_bmp_cursor_eager_agree =
+  QCheck.Test.make ~name:"bmp: cursor = eager on corrupted frames" ~count:500
+    QCheck.(triple (int_bound 5) (int_bound 300) (int_bound 255))
+    (fun (which, pos_seed, byte) ->
+      let b = Bytes.copy (Bmp.encode (List.nth bmp_corpus which)) in
+      let pos = pos_seed mod Bytes.length b in
+      Bytes.set b pos (Char.chr byte);
+      match (Bmp.decode b ~pos:0, Bmp.decode_eager b ~pos:0) with
+      | Ok (m, n), Ok (m', n') -> m = m' && n = n'
+      | Error e, Error e' -> e = e'
+      | _ -> false)
+
+let prop_bmp_truncation_agree =
+  QCheck.Test.make ~name:"bmp: cursor = eager on truncations" ~count:300
+    QCheck.(pair (int_bound 5) (int_bound 300))
+    (fun (which, len_seed) ->
+      let full = Bmp.encode (List.nth bmp_corpus which) in
+      let len = len_seed mod Bytes.length full in
+      let b = Bytes.sub full 0 len in
+      match (Bmp.decode b ~pos:0, Bmp.decode_eager b ~pos:0) with
+      | Error Bmp.Truncated, Error Bmp.Truncated -> true
+      | Error e, Error e' -> e = e'
+      | _ -> false)
+
+let prop_bmp_garbage_total =
+  QCheck.Test.make ~name:"bmp: decode total on garbage" ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 120))
+    (fun s ->
+      let b = Bytes.of_string s in
+      match (Bmp.decode b ~pos:0, Bmp.decode_eager b ~pos:0) with
+      | Ok (m, n), Ok (m', n') -> m = m' && n = n'
+      | Error e, Error e' -> e = e'
+      | _ -> false)
+
 let () =
   Alcotest.run "bgp"
     [ ( "as-path",
@@ -1207,5 +1343,12 @@ let () =
           tc "add-path negotiation" `Quick test_session_add_path_negotiation;
           tc "one-sided add-path" `Quick test_session_one_sided_add_path;
           tc "bad version" `Quick test_fsm_rejects_bad_version
+        ] );
+      ( "bmp",
+        [ tc "roundtrip" `Quick test_bmp_roundtrip;
+          tc "canon time + peer_of" `Quick test_bmp_canon_time;
+          QCheck_alcotest.to_alcotest prop_bmp_cursor_eager_agree;
+          QCheck_alcotest.to_alcotest prop_bmp_truncation_agree;
+          QCheck_alcotest.to_alcotest prop_bmp_garbage_total
         ] )
     ]

@@ -319,6 +319,152 @@ let test_mrt_synthetic_stream () =
     check Alcotest.int "rib v4" 50 s.Mrt.n_rib4;
     check Alcotest.int "peers" 20 s.Mrt.n_peers
 
+(* ------------------------------------------------------------------ *)
+(* Monitor: BMP ingest, reassembly, reconstruction *)
+
+module Bmp = Peering_bgp.Bmp
+module Attrs = Peering_bgp.Attrs
+module As_path = Peering_bgp.As_path
+module Message = Peering_bgp.Message
+module Capability = Peering_bgp.Capability
+
+let bmp_hdr ?(time = 1.0) a =
+  Bmp.make_peer_header ~addr:(ip "100.65.0.1") ~asn:a ~time ()
+
+let bmp_attrs () =
+  Attrs.make
+    ~as_path:(As_path.of_asns [ asn 3356; asn 65010 ])
+    ~next_hop:(ip "100.65.0.1") ()
+
+let bmp_announce ?time peer p =
+  Bmp.Route_monitoring
+    { peer = bmp_hdr ?time peer;
+      update =
+        { Message.withdrawn = [];
+          attrs = Some (bmp_attrs ());
+          nlri = [ (0, p) ]
+        }
+    }
+
+let bmp_withdraw ?time peer p =
+  Bmp.Route_monitoring
+    { peer = bmp_hdr ?time peer;
+      update = { Message.withdrawn = [ (0, p) ]; attrs = None; nlri = [] }
+    }
+
+let bmp_open a =
+  { Message.version = 4;
+    asn = a;
+    hold_time = 90;
+    router_id = ip "10.0.0.1";
+    capabilities = [ Capability.Four_octet_asn (Asn.to_int a) ]
+  }
+
+let bmp_peer_up ?time a =
+  Bmp.Peer_up
+    { peer = bmp_hdr ?time a;
+      local_addr = ip "100.65.0.254";
+      local_port = 179;
+      remote_port = 40000;
+      sent_open = bmp_open (asn 47065);
+      recv_open = bmp_open a
+    }
+
+(* The same stream fed at every chunk size — including byte-at-a-time —
+   reassembles to the same message count, zero residue and the same
+   reconstructed RIB digest. *)
+let test_monitor_fragmentation () =
+  let peer = asn 65010 in
+  let stream =
+    Bmp.encode_all
+      [ Bmp.Initiation { info = [ (2, "mux0") ] };
+        bmp_peer_up peer;
+        bmp_announce ~time:1.0 peer (pfx "184.164.224.0/24");
+        bmp_announce ~time:2.0 peer (pfx "184.164.225.0/24");
+        bmp_announce ~time:3.0 peer (pfx "184.164.226.0/24");
+        Bmp.Stats_report
+          { peer = bmp_hdr ~time:4.0 peer;
+            stats =
+              [ { Bmp.stat_type = Bmp.stat_routes_adj_rib_in; stat_value = 3 } ]
+          }
+      ]
+  in
+  let ingest chunk =
+    let mon = Monitor.create () in
+    let pos = ref 0 in
+    while !pos < Bytes.length stream do
+      let n = min chunk (Bytes.length stream - !pos) in
+      Monitor.feed mon ~mux:"mux0" (Bytes.sub stream !pos n);
+      pos := !pos + n
+    done;
+    mon
+  in
+  let reference = ingest (Bytes.length stream) in
+  let want = Monitor.rib_digest reference ~mux:"mux0" in
+  for chunk = 1 to Bytes.length stream do
+    let mon = ingest chunk in
+    check Alcotest.int "messages" 6 (Monitor.messages mon);
+    check Alcotest.int "no parse errors" 0 (Monitor.parse_errors mon);
+    check Alcotest.int "no residue" 0 (Monitor.buffered mon ~mux:"mux0");
+    check Alcotest.int "routes" 3 (Monitor.route_count mon ~mux:"mux0");
+    check Alcotest.string "digest invariant under fragmentation" want
+      (Monitor.rib_digest mon ~mux:"mux0")
+  done;
+  check Alcotest.(list string) "muxes" [ "mux0" ] (Monitor.muxes reference);
+  check Alcotest.(option int) "stats report landed" (Some 3)
+    (Monitor.reported_routes reference ~mux:"mux0" ~peer)
+
+(* Peer Down clears exactly that peer's table; other peers keep
+   theirs.  A Termination clears the whole mux. *)
+let test_monitor_peer_down () =
+  let mon = Monitor.create () in
+  let a = asn 100 and b = asn 200 in
+  let send m = Monitor.feed mon ~mux:"m" (Bmp.encode m) in
+  send (bmp_peer_up a);
+  send (bmp_peer_up b);
+  send (bmp_announce ~time:1.0 a (pfx "184.164.224.0/24"));
+  send (bmp_announce ~time:1.5 a (pfx "184.164.225.0/24"));
+  send (bmp_announce ~time:2.0 b (pfx "184.164.226.0/24"));
+  check Alcotest.int "both tables filled" 3 (Monitor.route_count mon ~mux:"m");
+  check Alcotest.bool "peer a up" true (Monitor.peer_up mon ~mux:"m" ~peer:a);
+  send (Bmp.Peer_down { peer = bmp_hdr ~time:3.0 a; reason = 2 });
+  check Alcotest.bool "peer a down" false (Monitor.peer_up mon ~mux:"m" ~peer:a);
+  check Alcotest.bool "peer a table cleared" true
+    (Prefix.Map.is_empty (Monitor.adj_rib mon ~mux:"m" ~peer:a));
+  check Alcotest.int "peer b unaffected" 1
+    (Prefix.Map.cardinal (Monitor.adj_rib mon ~mux:"m" ~peer:b));
+  check Alcotest.bool "mux still up" true (Monitor.mux_up mon ~mux:"m");
+  send (Bmp.Termination { info = [] });
+  check Alcotest.bool "mux down" false (Monitor.mux_up mon ~mux:"m");
+  check Alcotest.int "all tables cleared" 0 (Monitor.route_count mon ~mux:"m")
+
+(* Route Monitoring messages also fill the collector archive, and a
+   garbled frame is counted + resynced away without poisoning later
+   valid frames. *)
+let test_monitor_collector_and_resync () =
+  let c = Collector.create () in
+  let mon = Monitor.create ~collector:c () in
+  let peer = asn 65010 and p = pfx "184.164.224.0/24" in
+  Monitor.feed mon ~mux:"m" (Bmp.encode (bmp_announce ~time:1.0 peer p));
+  Monitor.feed mon ~mux:"m" (Bmp.encode (bmp_withdraw ~time:2.0 peer p));
+  (match Collector.entries c with
+  | [ e1; e2 ] ->
+    check Alcotest.bool "announce entry" true (e1.Collector.kind = Collector.Announce);
+    check Alcotest.(list int) "announce path" [ 3356; 65010 ]
+      (List.map Asn.to_int e1.Collector.path);
+    check Alcotest.bool "withdraw entry" true (e2.Collector.kind = Collector.Withdraw);
+    check Alcotest.bool "prefix" true (Prefix.compare e2.Collector.prefix p = 0)
+  | l -> Alcotest.failf "expected 2 collector entries, got %d" (List.length l));
+  (* a frame with a bad version byte is dropped and counted *)
+  let bad = Bmp.encode (bmp_announce ~time:3.0 peer p) in
+  Bytes.set bad 0 '\x09';
+  Monitor.feed mon ~mux:"m" bad;
+  check Alcotest.int "parse error counted" 1 (Monitor.parse_errors mon);
+  (* ... and the feed recovers on the next valid frame *)
+  Monitor.feed mon ~mux:"m" (Bmp.encode (bmp_announce ~time:4.0 peer p));
+  check Alcotest.int "feed resynced" 1 (Prefix.Map.cardinal (Monitor.adj_rib mon ~mux:"m" ~peer));
+  check Alcotest.int "no residue" 0 (Monitor.buffered mon ~mux:"m")
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentile monotone in p" ~count:200
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 1000.0))
@@ -347,6 +493,11 @@ let () =
           tc "fixture roundtrip" `Quick test_mrt_roundtrip_fixture;
           tc "malformed records" `Quick test_mrt_malformed;
           tc "synthetic stream" `Quick test_mrt_synthetic_stream
+        ] );
+      ( "monitor",
+        [ tc "fragmentation" `Quick test_monitor_fragmentation;
+          tc "peer down clears" `Quick test_monitor_peer_down;
+          tc "collector + resync" `Quick test_monitor_collector_and_resync
         ] );
       ( "stats",
         [ tc "basics" `Quick test_stats_basics;

@@ -244,6 +244,121 @@ let sweep_seeds () =
       sizes
   done
 
+(* ------------------------------------------------------------------ *)
+(* BMP corruption corpus: the telemetry framing follows the same
+   dual-decoder discipline, so [Bmp.decode] and [Bmp.decode_eager]
+   must agree — message and [Bmp.error] alike — on every intact,
+   truncated and corrupted frame. *)
+
+let bmp_show = function
+  | Ok (m, n) -> Printf.sprintf "Ok(%s, %d)" (Bmp.msg_type_name (Bmp.msg_type m)) n
+  | Error e -> Printf.sprintf "Error(%s)" (Bmp.error_to_string e)
+
+let bmp_agree name buf ~pos =
+  let cursor = Bmp.decode buf ~pos in
+  let eager = Bmp.decode_eager buf ~pos in
+  if cursor <> eager then
+    Alcotest.failf "%s: cursor %s / eager %s" name (bmp_show cursor)
+      (bmp_show eager)
+
+let bmp_corpus =
+  let pfx s = Peering_net.Prefix.of_string_exn s in
+  let asn = Peering_net.Asn.of_int in
+  let ip = Peering_net.Ipv4.of_int in
+  let peer =
+    Bmp.make_peer_header ~addr:(ip 0x64410001) ~asn:(asn 65010)
+      ~time:12.345678 ()
+  in
+  let attrs =
+    Attrs.make
+      ~as_path:(As_path.of_asns [ asn 3356; asn 65010 ])
+      ~communities:[ Community.make 65010 100 ]
+      ~next_hop:(ip 0x64410001) ()
+  in
+  let open_msg a =
+    { Message.version = 4;
+      asn = a;
+      hold_time = 90;
+      router_id = ip 0x0A0A0A0A;
+      capabilities = [ Capability.Four_octet_asn (Peering_net.Asn.to_int a) ]
+    }
+  in
+  List.map Bmp.encode
+    [ Bmp.Route_monitoring
+        { peer;
+          update =
+            { Message.withdrawn = [ (0, pfx "198.51.100.0/24") ];
+              attrs = Some attrs;
+              nlri = [ (0, pfx "184.164.224.0/24") ]
+            }
+        };
+      Bmp.Stats_report
+        { peer;
+          stats =
+            [ { Bmp.stat_type = 0; stat_value = 7 };
+              { Bmp.stat_type = Bmp.stat_routes_adj_rib_in;
+                stat_value = 123_456_789_000
+              }
+            ]
+        };
+      Bmp.Peer_down { peer; reason = 2 };
+      Bmp.Peer_up
+        { peer;
+          local_addr = ip 0x644100FE;
+          local_port = 179;
+          remote_port = 40000;
+          sent_open = open_msg (asn 47065);
+          recv_open = open_msg (asn 65010)
+        };
+      Bmp.Initiation { info = [ (2, "amsterdam01"); (1, "peering mux") ] };
+      Bmp.Termination { info = [ (0, "bye") ] }
+    ]
+
+let bmp_intact () =
+  List.iteri
+    (fun i b -> bmp_agree (Printf.sprintf "bmp frame %d" i) b ~pos:0)
+    bmp_corpus
+
+let bmp_truncated () =
+  List.iteri
+    (fun i b ->
+      for len = 0 to Bytes.length b - 1 do
+        bmp_agree
+          (Printf.sprintf "bmp frame %d cut at %d" i len)
+          (Bytes.sub b 0 len) ~pos:0
+      done)
+    bmp_corpus
+
+(* The 6-byte common header (version, length, type) and — on
+   peer-scoped frames — the whole 42-byte per-peer header, each byte
+   corrupted in turn. *)
+let bmp_bad_headers () =
+  List.iteri
+    (fun i b ->
+      let span = min (Bytes.length b - 1) (6 + 42 - 1) in
+      for off = 0 to span do
+        let c = Bytes.copy b in
+        Bytes.set c off (Char.chr (Char.code (Bytes.get c off) lxor 0xFF));
+        bmp_agree (Printf.sprintf "bmp frame %d header^%d" i off) c ~pos:0
+      done)
+    bmp_corpus
+
+let bmp_random_flips () =
+  let rng = Random.State.make [| 0x626d70 |] in
+  List.iteri
+    (fun i b ->
+      for trial = 0 to 19 do
+        let c = Bytes.copy b in
+        let flips = 1 + Random.State.int rng 3 in
+        for _ = 1 to flips do
+          let off = Random.State.int rng (Bytes.length c) in
+          Bytes.set c off (Char.chr (Random.State.int rng 256))
+        done;
+        bmp_agree (Printf.sprintf "bmp frame %d flip trial %d" i trial) c
+          ~pos:0
+      done)
+    bmp_corpus
+
 let () =
   Printf.printf
     "mrt-roundtrip: %d seeds per size (MRT_ROUNDTRIP_SEEDS to widen)\n"
@@ -262,5 +377,12 @@ let () =
             corpus_attr_overrun;
           Alcotest.test_case "random byte flips" `Quick corpus_random_flips;
           Alcotest.test_case "seeded update streams" `Quick sweep_seeds
+        ] );
+      ( "bmp-cursor-vs-eager",
+        [ Alcotest.test_case "intact frames" `Quick bmp_intact;
+          Alcotest.test_case "truncated at every offset" `Quick bmp_truncated;
+          Alcotest.test_case "corrupt common + peer headers" `Quick
+            bmp_bad_headers;
+          Alcotest.test_case "random byte flips" `Quick bmp_random_flips
         ] )
     ]

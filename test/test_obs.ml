@@ -62,6 +62,51 @@ let test_json_parse_errors () =
   | Ok (Json.String s) -> check Alcotest.string "escapes" "aA\n\"" s
   | Ok _ | Error _ -> Alcotest.fail "escape parse"
 
+(* Truncation at every byte, deep nesting, and non-ASCII payloads:
+   the parser must return [Error] (or a correct value), never raise. *)
+let test_json_edge_cases () =
+  let full = "{\"k\": [1, -2.5, \"caf\xc3\xa9\", {\"nested\": null}], \"t\": true}" in
+  (match Json.of_string full with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "full doc rejected: %s" e);
+  for len = 0 to String.length full - 1 do
+    match Json.of_string (String.sub full 0 len) with
+    | Ok v ->
+      Alcotest.failf "truncation at %d accepted as %s" len (Json.to_string v)
+    | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "truncation at %d raised %s" len (Printexc.to_string e)
+  done;
+  (* deep nesting parses back structurally (no stack surprises) *)
+  let depth = 500 in
+  let deep =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "7"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  (match Json.of_string deep with
+  | Ok v ->
+    let rec unwrap n = function
+      | Json.List [ inner ] -> unwrap (n + 1) inner
+      | Json.Int 7 -> check Alcotest.int "nesting depth" depth n
+      | _ -> Alcotest.fail "deep nesting shape"
+    in
+    unwrap 0 v
+  | Error e -> Alcotest.failf "deep nesting rejected: %s" e);
+  (* an unterminated deep prefix must error, not raise *)
+  (match Json.of_string (String.concat "" (List.init depth (fun _ -> "["))) with
+  | Ok _ -> Alcotest.fail "accepted unterminated nesting"
+  | Error _ -> ());
+  (* non-ASCII strings: raw UTF-8 passes through byte-exactly, and
+     \u escapes for multi-byte code points decode to UTF-8 *)
+  let cyrillic = "\xd0\xbf\xd1\x80\xd0\xb8\xd0\xb2\xd0\xb5\xd1\x82" in
+  (match Json.of_string (Json.to_string (Json.String cyrillic)) with
+  | Ok (Json.String s) -> check Alcotest.string "utf-8 roundtrip" cyrillic s
+  | Ok _ | Error _ -> Alcotest.fail "utf-8 roundtrip");
+  match Json.of_string "\"\\u00e9\"" with
+  | Ok (Json.String s) -> check Alcotest.string "latin escape" "\xc3\xa9" s
+  | Ok _ | Error _ -> Alcotest.fail "latin escape parse"
+
 let test_json_accessors () =
   match Json.of_string "{\"rows\": [{\"n\": 3}], \"name\": \"e1\"}" with
   | Error e -> Alcotest.failf "parse: %s" e
@@ -452,11 +497,135 @@ let test_obs_report () =
       (Option.bind (Json.member "p50" hist) Json.number_value)
   | None -> Alcotest.fail "hist json"
 
+(* ------------------------------------------------------------------ *)
+(* Window: the ring-buffer series and the sliding-window quantiles *)
+
+let test_window_series () =
+  let s = Window.Series.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Window.Series.push s ~time:(float_of_int i) 1.0
+  done;
+  check Alcotest.int "ring bound holds" 4 (Window.Series.length s);
+  check Alcotest.int "evictions accounted" 6 (Window.Series.dropped s);
+  check Alcotest.int "total counts everything" 10 (Window.Series.total s);
+  (match Window.Series.last s with
+  | Some (9.0, 1.0) -> ()
+  | _ -> Alcotest.fail "last sample");
+  check Alcotest.(float 1e-9) "span covers the retained tail" 3.0
+    (Window.Series.span_s s);
+  (* 4 samples retained over the 60s horizon ending at t=9 *)
+  check Alcotest.(float 1e-9) "rate" (4.0 /. 60.0)
+    (Window.Series.rate ~horizon_s:60.0 s);
+  (* floor is exclusive: a 1.5s horizon from t=9 keeps t=8 and t=9 *)
+  check Alcotest.int "window slice" 2
+    (List.length (Window.Series.window s ~horizon_s:1.5))
+
+let test_window_quantiles () =
+  let q = Window.Quantiles.of_list [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  check Alcotest.int "count" 5 (Window.Quantiles.count q);
+  check Alcotest.(float 1e-9) "min" 1.0 (Window.Quantiles.quantile q 0.0);
+  check Alcotest.(float 1e-9) "median" 3.0 (Window.Quantiles.quantile q 0.5);
+  check Alcotest.(float 1e-9) "max" 5.0 (Window.Quantiles.quantile q 1.0);
+  check Alcotest.bool "empty quantile is nan" true
+    (Float.is_nan (Window.Quantiles.quantile Window.Quantiles.empty 0.5));
+  let v =
+    Window.Slo.evaluate ~name:"x" ~budget_s:10.0
+      (Window.Quantiles.of_list [ 1.0; 2.0 ])
+  in
+  check Alcotest.bool "slo met under budget" true v.Window.Slo.met;
+  check Alcotest.(float 1e-9) "burn = p99/budget" 0.2 v.Window.Slo.burn;
+  (* no samples: vacuously met, burn 0 (not nan) *)
+  let v0 =
+    Window.Slo.evaluate ~name:"x" ~budget_s:10.0 Window.Quantiles.empty
+  in
+  check Alcotest.bool "vacuous slo met" true v0.Window.Slo.met;
+  check Alcotest.(float 1e-9) "vacuous burn" 0.0 v0.Window.Slo.burn
+
+let qgen_samples =
+  QCheck.(list_of_size Gen.(0 -- 40) (float_bound_inclusive 1e6))
+
+(* Law: the quantile function is monotone in q. *)
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantiles: monotone in q" ~count:200
+    QCheck.(
+      pair qgen_samples
+        (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (xs, (qa, qb)) ->
+      QCheck.assume (xs <> []);
+      let q = Window.Quantiles.of_list xs in
+      let lo = Float.min qa qb and hi = Float.max qa qb in
+      Window.Quantiles.quantile q lo <= Window.Quantiles.quantile q hi)
+
+(* Law: merge is associative (and commutative) on the canonical
+   sorted-list form, so sharding a window over feeds and merging in
+   any order reports identical quantiles. *)
+let quantiles_repr q =
+  (Window.Quantiles.count q, Window.Quantiles.to_sorted_list q)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"quantiles: merge associative" ~count:200
+    QCheck.(triple qgen_samples qgen_samples qgen_samples)
+    (fun (a, b, c) ->
+      let qa = Window.Quantiles.of_list a
+      and qb = Window.Quantiles.of_list b
+      and qc = Window.Quantiles.of_list c in
+      let open Window.Quantiles in
+      quantiles_repr (merge (merge qa qb) qc)
+      = quantiles_repr (merge qa (merge qb qc))
+      && quantiles_repr (merge qa qb) = quantiles_repr (merge qb qa))
+
+(* Law: adding a sample to the window never shrinks any quantile below
+   the old minimum nor above the new maximum, and count grows by 1. *)
+let prop_quantile_add_bounds =
+  QCheck.Test.make ~name:"quantiles: add stays bounded" ~count:200
+    QCheck.(pair qgen_samples (float_bound_inclusive 1e6))
+    (fun (xs, x) ->
+      QCheck.assume (xs <> []);
+      let q = Window.Quantiles.of_list xs in
+      let q' = Window.Quantiles.add x q in
+      Window.Quantiles.count q' = Window.Quantiles.count q + 1
+      && Window.Quantiles.min_value q' <= Window.Quantiles.min_value q
+      && Window.Quantiles.max_value q' >= Window.Quantiles.max_value q)
+
+(* ------------------------------------------------------------------ *)
+(* Capacity drops must surface as metric rows (the `stats` subcommand
+   prints exactly these), not just as per-buffer counters. *)
+
+let test_drop_rows () =
+  Metrics.reset ();
+  (* trace buffer: capacity 2, five events -> three drops *)
+  let tr = Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) ~level:Event.Info ~subsystem:"t"
+      (Printf.sprintf "ev %d" i)
+  done;
+  check Alcotest.int "trace buffer dropped" 3 (Trace.dropped tr);
+  check Alcotest.int "sim.trace.dropped row" 3
+    (Metrics.counter_value "sim.trace.dropped");
+  (* flight recorder: capacity 1, two spans -> one drop *)
+  Span.reset ();
+  Sink.start_flight_recorder ~capacity:1 ();
+  List.iter
+    (fun name ->
+      let sp = Span.start ~time:0.0 name in
+      Span.finish sp ~time:1.0)
+    [ "a"; "b" ];
+  Sink.stop_flight_recorder ();
+  Sink.clear_flight_recorder ();
+  check Alcotest.int "obs.flight.dropped row" 1
+    (Metrics.counter_value "obs.flight.dropped");
+  let txt = Obs_report.render ~include_volatile:true () in
+  check Alcotest.bool "stats text carries the trace drop row" true
+    (contains txt "sim.trace.dropped");
+  check Alcotest.bool "stats text carries the flight drop row" true
+    (contains txt "obs.flight.dropped")
+
 let () =
   Alcotest.run "obs"
     [ ( "json",
         [ tc "roundtrip" `Quick test_json_roundtrip;
           tc "parse errors" `Quick test_json_parse_errors;
+          tc "edge cases" `Quick test_json_edge_cases;
           tc "accessors" `Quick test_json_accessors
         ] );
       ( "metrics",
@@ -475,8 +644,16 @@ let () =
           tc "tree determinism" `Slow test_span_tree_determinism
         ] );
       ("events", [ tc "sink to trace" `Quick test_sink_trace ]);
+      ( "window",
+        [ tc "series ring" `Quick test_window_series;
+          tc "quantiles + slo" `Quick test_window_quantiles;
+          QCheck_alcotest.to_alcotest prop_quantile_monotone;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_quantile_add_bounds
+        ] );
       ( "report",
         [ tc "render and json" `Quick test_obs_report;
+          tc "drop rows" `Quick test_drop_rows;
           tc "determinism" `Slow test_snapshot_determinism
         ] )
     ]
